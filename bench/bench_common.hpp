@@ -1,0 +1,49 @@
+// Shared plumbing for the per-table/per-figure bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace nshd::bench {
+
+/// Standard context for accuracy benches: SynthCIFAR with the repo-default
+/// teacher schedule; honors --classes, --train_per_class, --test_per_class.
+inline core::ExperimentConfig config_from_args(const util::CliArgs& args,
+                                               std::int64_t default_classes = 10) {
+  core::ExperimentConfig config = core::ExperimentConfig::standard(
+      args.get_int("classes", static_cast<int>(default_classes)));
+  if (args.has("train_per_class"))
+    config.dataset.samples_per_class = args.get_int("train_per_class", 200);
+  if (args.has("test_per_class"))
+    config.test_samples_per_class = args.get_int("test_per_class", 50);
+  return config;
+}
+
+/// Model list from --models=a,b,c (default: the full paper set).
+inline std::vector<std::string> models_from_args(const util::CliArgs& args) {
+  if (!args.has("models")) return models::zoo_model_names();
+  std::vector<std::string> out;
+  std::string csv = args.get("models", "");
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t next = csv.find(',', pos);
+    const std::string token = csv.substr(pos, next == std::string::npos ? next : next - pos);
+    if (!token.empty()) out.push_back(token);
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return out;
+}
+
+/// Prints the table plus a one-line provenance header.
+inline void emit(const std::string& title, const util::Table& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace nshd::bench

@@ -1,0 +1,48 @@
+// Fig. 6 — Throughput (FPS) of the FPGA implementation.
+//
+// Models the DPU deployment of each backbone and its NSHD counterpart at
+// the earliest energy-study cut, over hypervector dimensions 1K/3K/10K.
+//
+// Paper shape: NSHD beats the CNN on the same DPU (average +38.14%);
+// higher dimensions erode some of the advantage.
+#include "bench_common.hpp"
+#include "hw/census.hpp"
+#include "hw/fpga.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nshd;
+  const util::CliArgs args(argc, argv);
+  const std::int64_t f_hat = args.get_int("fhat", 100);
+  const std::int64_t classes = args.get_int("classes", 10);
+  const hw::FpgaModel fpga;
+
+  util::Table table({"model", "layer", "CNN FPS", "NSHD 1K", "NSHD 3K",
+                     "NSHD 10K", "gain @3K"});
+  double gain_sum = 0.0;
+  int gain_count = 0;
+  for (const std::string& name : bench::models_from_args(args)) {
+    models::ZooModel m = models::make_model(name, classes, 1);
+    const std::size_t cut = m.energy_cut_layers.front();
+    const double cnn_fps = fpga.cnn_fps(hw::cnn_census(m), m.net.size());
+    std::vector<std::string> row{models::display_name(name),
+                                 util::cell(static_cast<int>(cut)),
+                                 util::cell(cnn_fps, 0)};
+    double fps_3k = 0.0;
+    for (std::int64_t dim : {1000, 3000, 10000}) {
+      const double fps =
+          fpga.nshd_fps(hw::nshd_census(m, cut, dim, f_hat, classes), cut + 1);
+      if (dim == 3000) fps_3k = fps;
+      row.push_back(util::cell(fps, 0));
+    }
+    const double gain = fps_3k / cnn_fps - 1.0;
+    gain_sum += gain;
+    ++gain_count;
+    row.push_back(util::cell(gain * 100.0, 1) + "%");
+    table.add_row(std::move(row));
+  }
+  bench::emit("Fig. 6: FPGA (DPU) inference throughput, CNN vs NSHD", table);
+  std::printf("Average NSHD throughput gain @3K: %.1f%% "
+              "(paper: 38.14%% on average).\n",
+              gain_sum / gain_count * 100.0);
+  return 0;
+}

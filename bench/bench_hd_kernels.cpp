@@ -1,0 +1,144 @@
+// Microbenchmarks of the HD computing kernels (google-benchmark).
+//
+// Covers the operations the paper accelerates with CUDA constant memory
+// (Sec. VI-A): random-projection encoding, float-vs-packed similarity, the
+// MASS update, binary-binary Hamming similarity, and the VanillaHD
+// ID-level encoder — plus the bit-packed vs naive unpacked ablation.
+#include <benchmark/benchmark.h>
+
+#include "hd/classifier.hpp"
+#include "hd/hypervector.hpp"
+#include "hd/projection.hpp"
+#include "hd/vanilla.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nshd;
+
+std::vector<float> random_values(std::int64_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+void BM_RandomProjectionEncode(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  const std::int64_t features = state.range(1);
+  util::Rng rng(1);
+  const hd::RandomProjection proj(dim, features, rng);
+  const auto v = random_values(features, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proj.encode(v.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * features);
+}
+BENCHMARK(BM_RandomProjectionEncode)
+    ->Args({3000, 100})
+    ->Args({10000, 100})
+    ->Args({3000, 640});
+
+void BM_ProjectionDecode(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  util::Rng rng(3);
+  const hd::RandomProjection proj(dim, 100, rng);
+  tensor::Tensor g(tensor::Shape{dim});
+  for (float& x : g.span()) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proj.decode(g));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 100);
+}
+BENCHMARK(BM_ProjectionDecode)->Arg(3000)->Arg(10000);
+
+void BM_FloatDotPacked(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  util::Rng rng(4);
+  const hd::Hypervector h = hd::Hypervector::random(dim, rng);
+  const auto m = random_values(dim, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hd::dot(m.data(), h));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_FloatDotPacked)->Arg(3000)->Arg(10000);
+
+// Ablation: the same similarity computed on unpacked +-1 floats (what a
+// naive implementation without the paper's binary trick would do).
+void BM_FloatDotUnpacked(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  util::Rng rng(6);
+  const hd::Hypervector h = hd::Hypervector::random(dim, rng);
+  const tensor::Tensor unpacked = h.to_tensor();
+  const auto m = random_values(dim, 7);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < dim; ++i) sum += m[static_cast<std::size_t>(i)] * unpacked[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_FloatDotUnpacked)->Arg(3000)->Arg(10000);
+
+void BM_BinaryHamming(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  util::Rng rng(8);
+  const hd::Hypervector a = hd::Hypervector::random(dim, rng);
+  const hd::Hypervector b = hd::Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_BinaryHamming)->Arg(3000)->Arg(10000);
+
+void BM_MassEpoch(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  const std::int64_t classes = 10, samples = 100;
+  util::Rng rng(9);
+  std::vector<hd::Hypervector> hvs;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < samples; ++i) {
+    hvs.push_back(hd::Hypervector::random(dim, rng));
+    labels.push_back(i % classes);
+  }
+  hd::HdClassifier clf(classes, dim);
+  clf.bundle_init(hvs, labels);
+  hd::MassConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.mass_epoch(hvs, labels, config));
+  }
+  state.SetItemsProcessed(state.iterations() * samples * classes * dim);
+}
+BENCHMARK(BM_MassEpoch)->Arg(3000)->Arg(10000);
+
+void BM_IdLevelEncode(benchmark::State& state) {
+  const std::int64_t features = state.range(0);
+  hd::IdLevelConfig config;
+  config.dim = 3000;
+  const hd::IdLevelEncoder encoder(features, config);
+  const auto v = random_values(features, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(v.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * features * config.dim);
+}
+BENCHMARK(BM_IdLevelEncode)->Arg(256)->Arg(3072);
+
+void BM_QuantizedPredict(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  util::Rng rng(11);
+  std::vector<hd::Hypervector> classes;
+  for (int c = 0; c < 10; ++c) classes.push_back(hd::Hypervector::random(dim, rng));
+  const hd::Hypervector query = hd::Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hd::HdClassifier::predict_quantized(classes, query));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * dim);
+}
+BENCHMARK(BM_QuantizedPredict)->Arg(3000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table I — Design Acceleration on Xilinx ZCU104.
+//
+// Reports the DPU configuration's resource utilization, clock and power from
+// the FPGA deployment model (the paper reads the same numbers out of the
+// Vivado implementation of the DPU IP).
+#include "bench_common.hpp"
+#include "hw/fpga.hpp"
+
+int main(int, char**) {
+  using namespace nshd;
+
+  const hw::FpgaModel fpga;
+  util::Table table({"Resource", "Total", "Available", "Utilization"});
+  for (const hw::ResourceRow& row : hw::FpgaModel::resource_utilization()) {
+    table.add_row({row.resource, util::format_count(row.used),
+                   util::format_count(row.available),
+                   util::cell(row.utilization() * 100.0, 2) + "%"});
+  }
+  bench::emit("Table I: DPU resource utilization on ZCU104", table);
+
+  std::printf("Frequency: %.0fMHz\nPower: %.3fW\n",
+              fpga.config().frequency_hz / 1e6, fpga.config().power_watts);
+  std::printf("(paper: 200MHz, 4.427W; LUT 36.87%%, FF 31.80%%, BRAM 71.79%%, "
+              "URAM 41.67%%, DSP 48.84%%)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Edge deployment planner: choose an NSHD operating point for a device
+// budget.
+//
+// Given an accuracy floor (e.g. "within 3pp of the CNN") and the deployment
+// target (embedded GPU energy model or DPU-style FPGA), sweeps every
+// backbone's cut layers and hypervector dimensions, and recommends the
+// cheapest configuration that meets the floor — the decision a platform
+// engineer makes before flashing a device.
+//
+// Run: ./edge_energy_planner [--max_acc_loss_pp=3] [--target=gpu|fpga]
+#include <algorithm>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "hw/census.hpp"
+#include "hw/energy.hpp"
+#include "hw/fpga.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nshd;
+  util::set_log_level(util::LogLevel::kInfo);
+  const util::CliArgs args(argc, argv);
+  const double max_loss_pp = args.get_double("max_acc_loss_pp", 3.0);
+  const std::string target = args.get("target", "gpu");
+  const std::string model_name = args.get("model", "mobilenetv2s");
+
+  core::ExperimentContext context(core::ExperimentConfig::standard(10));
+  models::ZooModel& m = context.model(model_name);
+  const double cnn_acc = context.cnn_test_accuracy(model_name);
+  const auto coeffs = hw::EnergyCoefficients::xavier_like();
+  const hw::FpgaModel fpga;
+  const hw::CnnCensus cnn_cost = hw::cnn_census(m);
+
+  struct Candidate {
+    std::size_t cut;
+    std::int64_t dim;
+    double accuracy, cost;  // cost: mJ (gpu) or ms (fpga)
+  };
+  std::vector<Candidate> feasible, all;
+
+  std::printf("== Planning %s deployment of %s: CNN acc %.4f, floor %.4f ==\n",
+              target.c_str(), models::display_name(model_name).c_str(), cnn_acc,
+              cnn_acc - max_loss_pp / 100.0);
+
+  for (std::size_t cut : m.paper_cut_layers) {
+    for (std::int64_t dim : {1000, 3000}) {
+      core::NshdConfig config;
+      config.dim = dim;
+      const auto run = context.run_nshd(model_name, cut, config);
+      const hw::NshdCensus census = hw::nshd_census(m, cut, dim, 100, 10);
+      double cost;
+      if (target == "fpga") {
+        cost = fpga.nshd_latency_s(census, cut + 1) * 1e3;  // ms
+      } else {
+        cost = hw::nshd_energy(census, coeffs).total_mj();  // mJ
+      }
+      const Candidate c{cut, dim, run.test_accuracy, cost};
+      all.push_back(c);
+      if (run.test_accuracy >= cnn_acc - max_loss_pp / 100.0) feasible.push_back(c);
+    }
+  }
+
+  const char* unit = target == "fpga" ? "ms/inf" : "mJ/inf";
+  util::Table table({"cut", "D", "accuracy", unit, "meets floor"});
+  for (const Candidate& c : all) {
+    const bool ok = c.accuracy >= cnn_acc - max_loss_pp / 100.0;
+    table.add_row({util::cell(static_cast<int>(c.cut)),
+                   util::cell(static_cast<int>(c.dim)), util::cell(c.accuracy, 4),
+                   util::cell(c.cost, 4), ok ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double cnn_cost_value = target == "fpga"
+      ? fpga.cnn_latency_s(cnn_cost, m.net.size()) * 1e3
+      : hw::cnn_energy(cnn_cost, coeffs).total_mj();
+  std::printf("CNN reference cost: %.4f %s\n", cnn_cost_value, unit);
+
+  if (feasible.empty()) {
+    std::printf("No NSHD configuration meets the accuracy floor; relax "
+                "--max_acc_loss_pp or use a later cut.\n");
+    return 1;
+  }
+  const Candidate best = *std::min_element(
+      feasible.begin(), feasible.end(),
+      [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
+  std::printf("Recommendation: cut layer %zu, D=%lld -> accuracy %.4f at "
+              "%.4f %s (%.1f%% cheaper than the CNN).\n",
+              best.cut, static_cast<long long>(best.dim), best.accuracy,
+              best.cost, unit, (1.0 - best.cost / cnn_cost_value) * 100.0);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Incremental (one-shot) class learning — the symbolic-memory advantage of
+// the HD side of NSHD.
+//
+// A CNN must be retrained (or at least fine-tuned) to accept a new class;
+// an HD class bank just bundles the new class's sample hypervectors into a
+// fresh class vector.  This example trains NSHD on the first `base` classes
+// of SynthCIFAR-10, then adds the remaining classes one at a time with
+// add_class() — no gradient steps, no replay of old data — and tracks how
+// accuracy on old and new classes evolves.
+//
+// Run: ./incremental_learning [--model=mobilenetv2s] [--cut=14] [--base=8]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nshd;
+  util::set_log_level(util::LogLevel::kInfo);
+  const util::CliArgs args(argc, argv);
+  const std::string model_name = args.get("model", "mobilenetv2s");
+  const std::int64_t base_classes = args.get_int("base", 8);
+
+  core::ExperimentContext context(core::ExperimentConfig::standard(10));
+  models::ZooModel& m = context.model(model_name);
+  const auto cut = static_cast<std::size_t>(
+      args.get_int("cut", static_cast<int>(m.paper_cut_layers.front())));
+
+  const core::ExtractedFeatures& train_feats = context.train_features(model_name, cut);
+  const core::ExtractedFeatures& test_feats = context.test_features(model_name, cut);
+  const auto& train_labels = context.train().labels;
+  const auto& test_labels = context.test().labels;
+  const std::int64_t f = train_feats.values.shape()[1];
+
+  // Train NSHD on the base classes only (subset of rows).
+  core::NshdConfig config;
+  config.dim = args.get_int("dim", 3000);
+  core::NshdModel nshd(m, cut, config);
+
+  // Build a base-only feature view.
+  core::ExtractedFeatures base_feats;
+  base_feats.chw = train_feats.chw;
+  base_feats.cut_layer = cut;
+  std::vector<std::int64_t> base_labels;
+  {
+    std::vector<std::int64_t> keep;
+    for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
+      if (train_labels[static_cast<std::size_t>(i)] < base_classes) keep.push_back(i);
+    }
+    base_feats.values =
+        tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(keep.size()), f});
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      std::copy_n(train_feats.values.data() + keep[r] * f, f,
+                  base_feats.values.data() + static_cast<std::int64_t>(r) * f);
+      base_labels.push_back(train_labels[static_cast<std::size_t>(keep[r])]);
+    }
+  }
+  // Teacher logits restricted to base rows (KD teacher still has 10 outputs;
+  // only the rows matter).
+  tensor::Tensor base_logits;
+  {
+    const tensor::Tensor& all = context.teacher_train_logits(model_name);
+    const std::int64_t k = all.shape()[1];
+    base_logits = tensor::Tensor(
+        tensor::Shape{base_feats.values.shape()[0], k});
+    std::int64_t r = 0;
+    for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
+      if (train_labels[static_cast<std::size_t>(i)] < base_classes) {
+        std::copy_n(all.data() + i * k, k, base_logits.data() + r * k);
+        ++r;
+      }
+    }
+  }
+  // The classifier bank covers all 10 outputs (teacher logits have 10), but
+  // only base-class rows are trained; the remaining vectors stay zero until
+  // add_class replaces the growth — here we instead demonstrate true growth
+  // on a standalone HdClassifier over NSHD's symbolization.
+  nshd.train(base_feats, base_labels, &base_logits);
+
+  // Rebuild a bank with exactly `base` classes from the trained encodings.
+  hd::HdClassifier bank(base_classes, config.dim);
+  {
+    const auto hvs = nshd.symbolize_all(base_feats);
+    bank.bundle_init(hvs, base_labels);
+    hd::MassConfig mass;
+    mass.epochs = 10;
+    for (std::int64_t e = 0; e < mass.epochs; ++e)
+      bank.mass_epoch(hvs, base_labels, mass);
+  }
+
+  auto evaluate_range = [&](const hd::HdClassifier& clf, std::int64_t k_known) {
+    std::int64_t correct = 0, seen = 0;
+    for (std::int64_t i = 0; i < test_feats.values.shape()[0]; ++i) {
+      const std::int64_t label = test_labels[static_cast<std::size_t>(i)];
+      if (label >= k_known) continue;
+      const auto h = nshd.symbolize(test_feats.values.data() + i * f);
+      if (clf.predict(h) == label) ++correct;
+      ++seen;
+    }
+    return seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+  };
+
+  util::Table table({"known classes", "accuracy over known test classes"});
+  table.add_row({util::cell(static_cast<int>(base_classes)) + " (trained)",
+                 util::cell(evaluate_range(bank, base_classes), 4)});
+
+  // One-shot add the remaining classes, one at a time.
+  for (std::int64_t new_class = base_classes; new_class < 10; ++new_class) {
+    std::vector<hd::Hypervector> shots;
+    for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
+      if (train_labels[static_cast<std::size_t>(i)] == new_class) {
+        shots.push_back(nshd.symbolize(train_feats.values.data() + i * f));
+      }
+    }
+    bank.add_class(shots);
+    table.add_row({util::cell(static_cast<int>(new_class + 1)) + " (one-shot added)",
+                   util::cell(evaluate_range(bank, new_class + 1), 4)});
+  }
+
+  std::printf("== Incremental class learning: %s layer %zu ==\n%s",
+              models::display_name(model_name).c_str(), cut,
+              table.to_string().c_str());
+  std::printf("New classes joined by bundling alone — no retraining, no "
+              "replay of old data (classic HD capability).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the NSHD pipeline end to end on SynthCIFAR-10.
+//
+//   1. Generate the synthetic dataset.
+//   2. Provision a pretrained CNN teacher (trains once, then disk-cached).
+//   3. Train NSHD at a paper cut layer with knowledge distillation.
+//   4. Compare CNN / NSHD / BaselineHD test accuracy and inference cost.
+//
+// Run:  ./quickstart [--model=efficientnet_b0s] [--cut=7] [--dim=3000]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "hw/census.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nshd;
+  util::set_log_level(util::LogLevel::kInfo);
+  const util::CliArgs args(argc, argv);
+
+  const std::string model_name = args.get("model", "efficientnet_b0s");
+  core::ExperimentConfig config = core::ExperimentConfig::standard(10);
+  core::ExperimentContext context(config);
+
+  const auto cut = static_cast<std::size_t>(
+      args.get_int("cut", static_cast<int>(context.model(model_name).paper_cut_layers.back())));
+  const std::int64_t dim = args.get_int("dim", 3000);
+
+  std::printf("== NSHD quickstart: %s cut at layer %zu, D=%lld ==\n",
+              models::display_name(model_name).c_str(), cut,
+              static_cast<long long>(dim));
+
+  // CNN reference.
+  const double cnn_acc = context.cnn_test_accuracy(model_name);
+
+  // NSHD with knowledge distillation (the paper's full recipe).
+  core::NshdConfig nshd_config;
+  nshd_config.dim = dim;
+  const auto nshd = context.run_nshd(model_name, cut, nshd_config);
+
+  // BaselineHD: same extractor, LSH encoding, no manifold / no KD.
+  const auto baseline = context.run_nshd(model_name, cut,
+                                         core::baseline_hd_config(dim));
+
+  // Inference cost census.
+  models::ZooModel& m = context.model(model_name);
+  const hw::CnnCensus cnn_cost = hw::cnn_census(m);
+  const hw::NshdCensus nshd_cost =
+      hw::nshd_census(m, cut, dim, nshd_config.manifold_features, 10);
+
+  util::Table table({"model", "test acc", "MACs/inference"});
+  table.add_row({"CNN (" + models::display_name(model_name) + ")",
+                 util::cell(cnn_acc, 4), util::format_count(static_cast<double>(cnn_cost.macs))});
+  table.add_row({"NSHD", util::cell(nshd.test_accuracy, 4),
+                 util::format_count(static_cast<double>(nshd_cost.total_macs()))});
+  table.add_row({"BaselineHD", util::cell(baseline.test_accuracy, 4),
+                 util::format_count(static_cast<double>(
+                     hw::baseline_census(m, cut, dim, 10).total_macs()))});
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("NSHD trained in %.1fs (final train acc %.4f)\n",
+              nshd.train_seconds, nshd.final_train_accuracy);
+  return 0;
+}

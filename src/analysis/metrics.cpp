@@ -1,0 +1,67 @@
+#include "analysis/metrics.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace nshd::analysis {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : k_(num_classes), cells_(static_cast<std::size_t>(num_classes * num_classes), 0) {}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  assert(truth >= 0 && truth < k_ && predicted >= 0 && predicted < k_);
+  ++cells_[static_cast<std::size_t>(truth * k_ + predicted)];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth, std::int64_t predicted) const {
+  return cells_[static_cast<std::size_t>(truth * k_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < k_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int64_t label) const {
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < k_; ++c) row += count(label, c);
+  return row == 0 ? 0.0 : static_cast<double>(count(label, label)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::int64_t label) const {
+  std::int64_t col = 0;
+  for (std::int64_t r = 0; r < k_; ++r) col += count(r, label);
+  return col == 0 ? 0.0 : static_cast<double>(count(label, label)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  if (k_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < k_; ++c) sum += recall(c);
+  return sum / static_cast<double>(k_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  for (std::int64_t r = 0; r < k_; ++r) {
+    for (std::int64_t c = 0; c < k_; ++c) {
+      out << count(r, c) << (c + 1 == k_ ? '\n' : '\t');
+    }
+  }
+  return out.str();
+}
+
+double accuracy(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == predicted[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace nshd::analysis

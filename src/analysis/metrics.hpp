@@ -1,0 +1,40 @@
+// Classification metrics: accuracy, confusion matrix, per-class recall.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nshd::analysis {
+
+/// Dense confusion matrix over k classes; rows = true label, cols = predicted.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(std::int64_t truth, std::int64_t predicted);
+
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+  double accuracy() const;
+  /// Recall of one class (diag / row-sum); 0 when the class is empty.
+  double recall(std::int64_t label) const;
+  /// Precision of one class (diag / col-sum); 0 when never predicted.
+  double precision(std::int64_t label) const;
+  /// Unweighted mean recall over classes.
+  double macro_recall() const;
+  std::int64_t num_classes() const { return k_; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t k_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> cells_;
+};
+
+/// Fraction of equal entries.
+double accuracy(const std::vector<std::int64_t>& truth,
+                const std::vector<std::int64_t>& predicted);
+
+}  // namespace nshd::analysis

@@ -1,0 +1,93 @@
+#include "analysis/pca.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::analysis {
+
+Pca::Pca(const tensor::Tensor& data, std::int64_t components,
+         std::int64_t power_iterations, std::uint64_t seed) {
+  assert(data.shape().rank() == 2);
+  const std::int64_t n = data.shape()[0];
+  const std::int64_t f = data.shape()[1];
+  assert(components >= 1 && components <= f);
+  assert(n >= 2);
+
+  mean_ = tensor::Tensor(tensor::Shape{f});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = data.data() + i * f;
+    for (std::int64_t j = 0; j < f; ++j) mean_[j] += row[j];
+  }
+  for (std::int64_t j = 0; j < f; ++j) mean_[j] /= static_cast<float>(n);
+
+  // Covariance C = X_c^T X_c / (n-1), built once ([F, F]).
+  tensor::Tensor cov(tensor::Shape{f, f});
+  {
+    tensor::Tensor centered(tensor::Shape{n, f});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* row = data.data() + i * f;
+      float* out = centered.data() + i * f;
+      for (std::int64_t j = 0; j < f; ++j) out[j] = row[j] - mean_[j];
+    }
+    tensor::gemm_at(centered.data(), centered.data(), cov.data(), f, n, f);
+    const float scale = 1.0f / static_cast<float>(n - 1);
+    for (float& x : cov.span()) x *= scale;
+  }
+  for (std::int64_t j = 0; j < f; ++j) total_variance_ += cov.at(j, j);
+
+  directions_ = tensor::Tensor(tensor::Shape{components, f});
+  variance_.reserve(static_cast<std::size_t>(components));
+  util::Rng rng(seed);
+
+  std::vector<float> v(static_cast<std::size_t>(f));
+  std::vector<float> w(static_cast<std::size_t>(f));
+  for (std::int64_t c = 0; c < components; ++c) {
+    for (auto& x : v) x = rng.normal();
+    double eigenvalue = 0.0;
+    for (std::int64_t it = 0; it < power_iterations; ++it) {
+      tensor::gemv(cov.data(), v.data(), w.data(), f, f);
+      double norm = 0.0;
+      for (float x : w) norm += static_cast<double>(x) * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-20) break;
+      for (std::int64_t j = 0; j < f; ++j)
+        v[static_cast<std::size_t>(j)] = w[static_cast<std::size_t>(j)] / static_cast<float>(norm);
+      eigenvalue = norm;
+    }
+    variance_.push_back(static_cast<float>(eigenvalue));
+    float* dir = directions_.data() + c * f;
+    for (std::int64_t j = 0; j < f; ++j) dir[j] = v[static_cast<std::size_t>(j)];
+    // Deflate: C -= lambda v v^T.
+    for (std::int64_t a = 0; a < f; ++a) {
+      const float va = v[static_cast<std::size_t>(a)] * static_cast<float>(eigenvalue);
+      float* row = cov.data() + a * f;
+      for (std::int64_t b = 0; b < f; ++b) row[b] -= va * v[static_cast<std::size_t>(b)];
+    }
+  }
+}
+
+tensor::Tensor Pca::transform(const float* row) const {
+  const std::int64_t f = features();
+  std::vector<float> centered(static_cast<std::size_t>(f));
+  for (std::int64_t j = 0; j < f; ++j) centered[static_cast<std::size_t>(j)] = row[j] - mean_[j];
+  tensor::Tensor out(tensor::Shape{components()});
+  tensor::gemv(directions_.data(), centered.data(), out.data(), components(), f);
+  return out;
+}
+
+tensor::Tensor Pca::transform(const tensor::Tensor& row) const {
+  assert(row.numel() == features());
+  return transform(row.data());
+}
+
+double Pca::explained_variance_ratio() const {
+  if (total_variance_ <= 0.0) return 0.0;
+  double captured = 0.0;
+  for (float v : variance_) captured += v;
+  return captured / total_variance_;
+}
+
+}  // namespace nshd::analysis

@@ -1,0 +1,47 @@
+// Principal component analysis via power iteration with deflation.
+//
+// Used as a classical feature-reduction baseline against the paper's
+// learned manifold layer (the "learning-driven feature compression" of
+// Sec. IV-C): project pooled CNN features onto the top-k principal
+// directions instead of a trained FC regressor.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace nshd::analysis {
+
+class Pca {
+ public:
+  /// Fits `components` principal directions of the rows of `data` [N, F].
+  /// Power iteration with deflation; adequate for components << F and the
+  /// well-separated spectra CNN features exhibit.
+  Pca(const tensor::Tensor& data, std::int64_t components,
+      std::int64_t power_iterations = 60, std::uint64_t seed = 12);
+
+  std::int64_t components() const { return directions_.shape()[0]; }
+  std::int64_t features() const { return directions_.shape()[1]; }
+
+  /// Principal directions, one per row, unit length, [components, F].
+  const tensor::Tensor& directions() const { return directions_; }
+  /// Per-feature mean of the fitted data, [F].
+  const tensor::Tensor& mean() const { return mean_; }
+  /// Eigenvalue (variance) per component, descending.
+  const std::vector<float>& explained_variance() const { return variance_; }
+
+  /// Projects one row: y = W (x - mean), [components].
+  tensor::Tensor transform(const float* row) const;
+  tensor::Tensor transform(const tensor::Tensor& row) const;
+
+  /// Fraction of total variance captured by the fitted components.
+  double explained_variance_ratio() const;
+
+ private:
+  tensor::Tensor directions_;  // [components, F]
+  tensor::Tensor mean_;        // [F]
+  std::vector<float> variance_;
+  double total_variance_ = 0.0;
+};
+
+}  // namespace nshd::analysis

@@ -1,0 +1,228 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nshd::analysis {
+
+namespace {
+
+/// Squared Euclidean distance matrix [N, N].
+std::vector<double> pairwise_sq_distances(const tensor::Tensor& points) {
+  const std::int64_t n = points.shape()[0];
+  const std::int64_t f = points.shape()[1];
+  std::vector<double> d2(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* pi = points.data() + i * f;
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const float* pj = points.data() + j * f;
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < f; ++k) {
+        const double diff = static_cast<double>(pi[k]) - pj[k];
+        acc += diff * diff;
+      }
+      d2[static_cast<std::size_t>(i * n + j)] = acc;
+      d2[static_cast<std::size_t>(j * n + i)] = acc;
+    }
+  }
+  return d2;
+}
+
+/// Binary-searches the Gaussian bandwidth of row i to match the target
+/// perplexity; writes conditional probabilities p_{j|i} into `row`.
+void fit_row_bandwidth(const std::vector<double>& d2, std::int64_t n,
+                       std::int64_t i, double perplexity, double* row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      row[j] = (j == i) ? 0.0 : std::exp(-beta * d2[static_cast<std::size_t>(i * n + j)]);
+      sum += row[j];
+    }
+    double entropy = 0.0;
+    if (sum > 0.0) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (row[j] > 0.0) {
+          const double p = row[j] / sum;
+          entropy -= p * std::log(p);
+        }
+      }
+    }
+    for (std::int64_t j = 0; j < n; ++j) row[j] = sum > 0.0 ? row[j] / sum : 0.0;
+
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = std::isinf(beta_hi) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+}
+
+}  // namespace
+
+tensor::Tensor tsne(const tensor::Tensor& points, const TsneConfig& config) {
+  assert(points.shape().rank() == 2);
+  const std::int64_t n = points.shape()[0];
+  assert(n >= 4 && "t-SNE needs a few points");
+
+  const std::vector<double> d2 = pairwise_sq_distances(points);
+
+  // Symmetrized joint probabilities P.
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  {
+    std::vector<double> row(static_cast<std::size_t>(n));
+    const double perplexity =
+        std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      fit_row_bandwidth(d2, n, i, perplexity, row.data());
+      for (std::int64_t j = 0; j < n; ++j)
+        p[static_cast<std::size_t>(i * n + j)] = row[static_cast<std::size_t>(j)];
+    }
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double sym = 0.5 * (p[static_cast<std::size_t>(i * n + j)] +
+                                  p[static_cast<std::size_t>(j * n + i)]);
+        p[static_cast<std::size_t>(i * n + j)] = sym;
+        total += sym;
+      }
+    }
+    for (auto& v : p) v = std::max(v / total, 1e-12);
+  }
+
+  // Gradient descent on the 2-D embedding.
+  util::Rng rng(config.seed);
+  tensor::Tensor y(tensor::Shape{n, 2});
+  for (float& v : y.span()) v = rng.normal(0.0f, 1e-2f);
+  tensor::Tensor velocity(tensor::Shape{n, 2});
+  std::vector<double> q(static_cast<std::size_t>(n * n));
+  std::vector<double> gradient(static_cast<std::size_t>(n * 2));
+
+  for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.momentum_initial
+                                : config.momentum_final;
+
+    // Student-t affinities Q (unnormalized) and their sum.
+    double q_sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double dy0 = static_cast<double>(y.at(i, 0)) - y.at(j, 0);
+        const double dy1 = static_cast<double>(y.at(i, 1)) - y.at(j, 1);
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<std::size_t>(i * n + j)] = w;
+        q[static_cast<std::size_t>(j * n + i)] = w;
+        q_sum += 2.0 * w;
+      }
+      q[static_cast<std::size_t>(i * n + i)] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<std::size_t>(i * n + j)];
+        const double q_ij = std::max(w / q_sum, 1e-12);
+        const double mult =
+            (exaggeration * p[static_cast<std::size_t>(i * n + j)] - q_ij) * w;
+        gradient[static_cast<std::size_t>(i * 2 + 0)] +=
+            4.0 * mult * (static_cast<double>(y.at(i, 0)) - y.at(j, 0));
+        gradient[static_cast<std::size_t>(i * 2 + 1)] +=
+            4.0 * mult * (static_cast<double>(y.at(i, 1)) - y.at(j, 1));
+      }
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 2; ++d) {
+        const double g = gradient[static_cast<std::size_t>(i * 2 + d)];
+        velocity.at(i, d) = static_cast<float>(
+            momentum * velocity.at(i, d) - config.learning_rate * g);
+        y.at(i, d) += velocity.at(i, d);
+      }
+    }
+  }
+  return y;
+}
+
+double silhouette_score(const tensor::Tensor& points,
+                        const std::vector<std::int64_t>& labels) {
+  assert(points.shape().rank() == 2);
+  const std::int64_t n = points.shape()[0];
+  assert(static_cast<std::int64_t>(labels.size()) == n);
+  if (n < 2) return 0.0;
+
+  std::int64_t k = 0;
+  for (std::int64_t label : labels) k = std::max(k, label + 1);
+
+  const std::vector<double> d2 = pairwise_sq_distances(points);
+  auto dist = [&](std::int64_t i, std::int64_t j) {
+    return std::sqrt(d2[static_cast<std::size_t>(i * n + j)]);
+  };
+
+  std::vector<std::int64_t> class_size(static_cast<std::size_t>(k), 0);
+  for (std::int64_t label : labels) ++class_size[static_cast<std::size_t>(label)];
+
+  double total = 0.0;
+  std::int64_t counted = 0;
+  std::vector<double> mean_to_class(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::fill(mean_to_class.begin(), mean_to_class.end(), 0.0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_to_class[static_cast<std::size_t>(labels[static_cast<std::size_t>(j)])] +=
+          dist(i, j);
+    }
+    const std::int64_t own = labels[static_cast<std::size_t>(i)];
+    if (class_size[static_cast<std::size_t>(own)] < 2) continue;
+
+    double a = mean_to_class[static_cast<std::size_t>(own)] /
+               static_cast<double>(class_size[static_cast<std::size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::int64_t c = 0; c < k; ++c) {
+      if (c == own || class_size[static_cast<std::size_t>(c)] == 0) continue;
+      b = std::min(b, mean_to_class[static_cast<std::size_t>(c)] /
+                          static_cast<double>(class_size[static_cast<std::size_t>(c)]));
+    }
+    if (std::isinf(b)) continue;
+    total += (b - a) / std::max({a, b, 1e-12});
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double class_separation_ratio(const tensor::Tensor& points,
+                              const std::vector<std::int64_t>& labels) {
+  assert(points.shape().rank() == 2);
+  const std::int64_t n = points.shape()[0];
+  const std::vector<double> d2 = pairwise_sq_distances(points);
+  double intra = 0.0, inter = 0.0;
+  std::int64_t intra_n = 0, inter_n = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(d2[static_cast<std::size_t>(i * n + j)]);
+      if (labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)]) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  if (intra_n == 0 || inter_n == 0 || intra == 0.0) return 0.0;
+  return (inter / static_cast<double>(inter_n)) /
+         (intra / static_cast<double>(intra_n));
+}
+
+}  // namespace nshd::analysis

@@ -1,0 +1,39 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 11 explainability
+// study: 2-D projection of sample hypervectors before/after HD retraining.
+// O(N^2) per iteration; intended for <= ~2000 points, which covers the
+// paper's use.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::analysis {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  std::int64_t iterations = 400;
+  double learning_rate = 150.0;
+  double early_exaggeration = 12.0;
+  std::int64_t exaggeration_iters = 80;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  std::int64_t momentum_switch_iter = 120;
+  std::uint64_t seed = 3;
+};
+
+/// Embeds `points` ([N, F]) into 2-D ([N, 2]).
+tensor::Tensor tsne(const tensor::Tensor& points, const TsneConfig& config = {});
+
+/// Mean silhouette coefficient of a labeled 2-D (or any-D) embedding —
+/// quantifies Fig. 11's "tight clusters" claim.  Range [-1, 1].
+double silhouette_score(const tensor::Tensor& points,
+                        const std::vector<std::int64_t>& labels);
+
+/// Ratio of mean inter-class to mean intra-class pairwise distance; > 1
+/// means classes separate.
+double class_separation_ratio(const tensor::Tensor& points,
+                              const std::vector<std::int64_t>& labels);
+
+}  // namespace nshd::analysis

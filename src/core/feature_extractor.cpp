@@ -1,0 +1,40 @@
+#include "core/feature_extractor.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace nshd::core {
+
+ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_layer,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size) {
+  assert(cut_layer < model.feature_count);
+  ExtractedFeatures out;
+  out.cut_layer = cut_layer;
+  out.chw = model.feature_shape_at(cut_layer);
+  const std::int64_t f = out.chw.numel();
+  out.values = tensor::Tensor(tensor::Shape{dataset.size(), f});
+
+  util::Rng rng(1);
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t row = 0;
+  while (batches.next(images, labels)) {
+    const tensor::Tensor activations = model.net.forward_to(images, cut_layer);
+    assert(activations.numel() == activations.shape()[0] * f);
+    std::memcpy(out.values.data() + row * f, activations.data(),
+                static_cast<std::size_t>(activations.numel()) * sizeof(float));
+    row += activations.shape()[0];
+  }
+  return out;
+}
+
+tensor::Tensor extract_one(models::ZooModel& model, std::size_t cut_layer,
+                           const tensor::Tensor& image) {
+  assert(image.shape().rank() == 4 && image.shape()[0] == 1);
+  const tensor::Tensor activations = model.net.forward_to(image, cut_layer);
+  return activations.reshaped(tensor::Shape{activations.numel()});
+}
+
+}  // namespace nshd::core

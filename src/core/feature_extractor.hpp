@@ -1,0 +1,35 @@
+// Feature extraction through a cut CNN (Sec. IV-A).
+//
+// NSHD takes a pretrained zoo model, keeps layers [0..cut] as the frozen
+// feature extractor, and uses the *full* model separately as the KD teacher.
+// Extraction is batched and materialized once per dataset — the features are
+// reused across every retraining epoch, mirroring how the paper runs the
+// extractor under TensorRT exactly once per input.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "models/zoo.hpp"
+
+namespace nshd::core {
+
+/// Materialized features: one row per sample, plus the CHW shape of the cut
+/// activation (needed by the manifold pooling step).
+struct ExtractedFeatures {
+  tensor::Tensor values;    // [N, F] with F = C*H*W at the cut
+  tensor::Shape chw;        // activation shape at the cut
+  std::size_t cut_layer = 0;
+};
+
+/// Runs `model.net` layers [0..cut_layer] over every sample of `dataset`
+/// (eval mode, batched).
+ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_layer,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size = 32);
+
+/// Extracts a single image [1, C, H, W] -> flat [F].
+tensor::Tensor extract_one(models::ZooModel& model, std::size_t cut_layer,
+                           const tensor::Tensor& image);
+
+}  // namespace nshd::core

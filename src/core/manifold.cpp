@@ -1,0 +1,128 @@
+#include "core/manifold.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace nshd::core {
+
+namespace {
+std::int64_t pooled_size_for(const tensor::Shape& chw, bool spatial) {
+  if (spatial) {
+    const std::int64_t ph = std::max<std::int64_t>(1, chw[1] / 2);
+    const std::int64_t pw = std::max<std::int64_t>(1, chw[2] / 2);
+    return chw[0] * ph * pw;
+  }
+  return chw.numel();
+}
+}  // namespace
+
+ManifoldLearner::ManifoldLearner(const tensor::Shape& chw, const ManifoldConfig& config)
+    : chw_(chw),
+      config_(config),
+      // Window-2 maxpool only where spatial extent can absorb it (the
+      // paper's models pool 14x14 -> 7x7 maps); collapsing 2x2 -> 1x1 maps
+      // starves the FC regressor of 3/4 of its information, so small maps
+      // pass through unpooled.
+      spatial_pool_(chw.rank() == 3 && (chw[1] >= 4 || chw[2] >= 4)),
+      pooled_size_(pooled_size_for(chw, spatial_pool_)),
+      weight_(tensor::Shape{config.output_features, pooled_size_}),
+      bias_(tensor::Shape{config.output_features}) {
+  assert(chw.rank() == 3);
+  util::Rng rng(config.seed);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(pooled_size_));
+  for (float& w : weight_.span()) w = rng.normal(0.0f, stddev);
+}
+
+tensor::Tensor ManifoldLearner::pool(const float* features) const {
+  tensor::Tensor out(tensor::Shape{pooled_size_});
+  if (spatial_pool_) {
+    const std::int64_t c_count = chw_[0], h = chw_[1], w = chw_[2];
+    const std::int64_t ph = std::max<std::int64_t>(1, h / 2);
+    const std::int64_t pw = std::max<std::int64_t>(1, w / 2);
+    std::int64_t o = 0;
+    for (std::int64_t c = 0; c < c_count; ++c) {
+      const float* plane = features + c * h * w;
+      for (std::int64_t y = 0; y < ph; ++y) {
+        for (std::int64_t x = 0; x < pw; ++x, ++o) {
+          float best = plane[(2 * y) * w + 2 * x];
+          if (2 * x + 1 < w) best = std::max(best, plane[(2 * y) * w + 2 * x + 1]);
+          if (2 * y + 1 < h) {
+            best = std::max(best, plane[(2 * y + 1) * w + 2 * x]);
+            if (2 * x + 1 < w) best = std::max(best, plane[(2 * y + 1) * w + 2 * x + 1]);
+          }
+          out[o] = best;
+        }
+      }
+    }
+  } else {
+    // Pass-through for spatially small activations.
+    for (std::int64_t o = 0; o < pooled_size_; ++o) out[o] = features[o];
+  }
+  return out;
+}
+
+tensor::Tensor ManifoldLearner::pool(const tensor::Tensor& features) const {
+  assert(features.numel() == chw_.numel());
+  return pool(features.data());
+}
+
+tensor::Tensor ManifoldLearner::compress(const tensor::Tensor& pooled) const {
+  assert(pooled.numel() == pooled_size_);
+  tensor::Tensor v(tensor::Shape{config_.output_features});
+  tensor::gemv(weight_.data(), pooled.data(), v.data(), config_.output_features,
+               pooled_size_);
+  for (std::int64_t i = 0; i < config_.output_features; ++i) v[i] += bias_[i];
+  return v;
+}
+
+tensor::Tensor ManifoldLearner::forward(const float* features) const {
+  return compress(pool(features));
+}
+
+tensor::Tensor ManifoldLearner::forward(const tensor::Tensor& features) const {
+  assert(features.numel() == chw_.numel());
+  return forward(features.data());
+}
+
+void ManifoldLearner::apply_hd_error(const hd::RandomProjection& projection,
+                                     const tensor::Tensor& g_h,
+                                     const tensor::Tensor& pre_sign,
+                                     const tensor::Tensor& pooled) {
+  assert(g_h.numel() == projection.dim());
+  assert(pre_sign.numel() == projection.dim());
+  assert(pooled.numel() == pooled_size_);
+
+  tensor::Tensor masked = g_h;
+  if (config_.ste == SteMode::kClipped) {
+    // Saturating STE: the projection's pre-sign magnitudes scale with
+    // sqrt(F_hat)*|v|, so clip adaptively at 3 sigma of this sample's
+    // activations rather than at a fixed +-1.
+    double sq = 0.0;
+    for (float z : pre_sign.span()) sq += static_cast<double>(z) * z;
+    const float clip =
+        3.0f * static_cast<float>(std::sqrt(sq / static_cast<double>(pre_sign.numel()) + 1e-12));
+    for (std::int64_t d = 0; d < masked.numel(); ++d) {
+      if (std::fabs(pre_sign[d]) > clip) masked[d] = 0.0f;
+    }
+  }
+
+  // Decode through the projection: g_v = P^T g_h.
+  const tensor::Tensor g_v = projection.decode(masked);
+
+  // SGD on the FC regressor: W -= lr * g_v p^T, b -= lr * g_v.
+  const float lr = config_.learning_rate;
+  for (std::int64_t o = 0; o < config_.output_features; ++o) {
+    const float g = g_v[o];
+    if (g == 0.0f) continue;
+    float* row = weight_.data() + o * pooled_size_;
+    const float step = lr * g;
+    const float* p = pooled.data();
+    for (std::int64_t i = 0; i < pooled_size_; ++i) row[i] -= step * p[i];
+    bias_[o] -= step;
+  }
+}
+
+}  // namespace nshd::core

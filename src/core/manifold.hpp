@@ -1,0 +1,91 @@
+// The manifold learner (Sec. IV-C / V-C): learning-driven feature
+// compression between the CNN feature extractor and the HD encoder.
+//
+// Structure: maxpool(window 2) over the cut activation, then a single
+// fully-connected regressor R^{F_pooled} -> R^{F_hat}.  Its weights are NOT
+// trained by instrumenting the CNN; they are updated from class-hypervector
+// errors decoded back through the HD encoder with a straight-through
+// estimator for sign() (Sec. V-C).
+#pragma once
+
+#include <cstdint>
+
+#include "hd/projection.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::core {
+
+/// How the non-differentiable sign() is treated when decoding errors.
+enum class SteMode {
+  /// Clipped straight-through: pass gradient only where |pre-sign| is within
+  /// 3 standard deviations (the BinaryNet-style saturating STE, adapted to
+  /// the projection's scale).
+  kClipped,
+  /// Identity straight-through: pass all gradients (ablation).
+  kIdentity,
+};
+
+struct ManifoldConfig {
+  std::int64_t output_features = 100;  // F_hat; the paper uses 100
+  float learning_rate = 0.03f;
+  SteMode ste = SteMode::kClipped;
+  std::uint64_t seed = 21;
+};
+
+class ManifoldLearner {
+ public:
+  /// `chw` is the cut-activation shape the learner pools; the FC input size
+  /// is the pooled size.
+  ManifoldLearner(const tensor::Shape& chw, const ManifoldConfig& config);
+
+  /// maxpool(window 2) of a flat feature row.  Pools 2x2 spatially when the
+  /// activation has spatial extent, otherwise pairwise over the flat vector
+  /// (late VGG cuts are 1x1 spatial).
+  tensor::Tensor pool(const float* features) const;
+  tensor::Tensor pool(const tensor::Tensor& features) const;
+
+  /// FC regressor: v = W p + b.
+  tensor::Tensor compress(const tensor::Tensor& pooled) const;
+
+  /// pool + compress in one call.
+  tensor::Tensor forward(const float* features) const;
+  tensor::Tensor forward(const tensor::Tensor& features) const;
+
+  /// Applies one SGD update from an HD-space error signal (Sec. V-C):
+  ///   g_v = P^T (g_h * STE-mask(pre_sign));  dW = g_v p^T;  db = g_v.
+  /// `g_h` is d(loss)/d(H) from the classifier, `pre_sign` the cached
+  /// projection activations for this sample, `pooled` the FC input.
+  void apply_hd_error(const hd::RandomProjection& projection,
+                      const tensor::Tensor& g_h, const tensor::Tensor& pre_sign,
+                      const tensor::Tensor& pooled);
+
+  std::int64_t input_features() const { return pooled_size_; }
+  std::int64_t output_features() const { return config_.output_features; }
+  std::int64_t raw_features() const { return chw_.numel(); }
+
+  /// FC parameter count (Table II accounting).
+  std::int64_t parameter_count() const {
+    return pooled_size_ * config_.output_features + config_.output_features;
+  }
+
+  /// MACs per sample: the FC matvec (pooling is compare-only).
+  std::int64_t macs_per_sample() const {
+    return pooled_size_ * config_.output_features;
+  }
+
+  const tensor::Tensor& weight() const { return weight_; }
+  tensor::Tensor& weight() { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+  tensor::Tensor& bias() { return bias_; }
+
+ private:
+  tensor::Shape chw_;
+  ManifoldConfig config_;
+  bool spatial_pool_;
+  std::int64_t pooled_size_;
+  tensor::Tensor weight_;  // [F_hat, pooled]
+  tensor::Tensor bias_;    // [F_hat]
+};
+
+}  // namespace nshd::core

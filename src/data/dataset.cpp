@@ -1,0 +1,65 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace nshd::data {
+
+tensor::Tensor Dataset::gather(const std::vector<std::size_t>& indices) const {
+  const std::int64_t chw = images.numel() / size();
+  tensor::Tensor batch(tensor::Shape{static_cast<std::int64_t>(indices.size()),
+                                     images.shape()[1], images.shape()[2],
+                                     images.shape()[3]});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(static_cast<std::int64_t>(indices[i]) < size());
+    std::memcpy(batch.data() + static_cast<std::int64_t>(i) * chw,
+                images.data() + static_cast<std::int64_t>(indices[i]) * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+  }
+  return batch;
+}
+
+std::vector<std::int64_t> Dataset::gather_labels(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::int64_t> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(labels[idx]);
+  return out;
+}
+
+tensor::Tensor Dataset::sample(std::int64_t index) const {
+  return gather({static_cast<std::size_t>(index)});
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::int64_t batch_size,
+                             util::Rng& rng, bool shuffle)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      rng_(&rng),
+      shuffle_(shuffle),
+      order_(util::iota_indices(static_cast<std::size_t>(dataset.size()))) {
+  if (shuffle_) rng_->shuffle(order_);
+}
+
+bool BatchIterator::next(tensor::Tensor& images, std::vector<std::int64_t>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end = std::min(cursor_ + static_cast<std::size_t>(batch_size_),
+                                   order_.size());
+  const std::vector<std::size_t> indices(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                         order_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  images = dataset_->gather(indices);
+  labels = dataset_->gather_labels(indices);
+  return true;
+}
+
+void BatchIterator::reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_->shuffle(order_);
+}
+
+std::int64_t BatchIterator::batches_per_epoch() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace nshd::data

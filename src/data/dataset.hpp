@@ -1,0 +1,62 @@
+// In-memory labeled image dataset and batching utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::data {
+
+/// A dense image-classification dataset: NCHW float images in [~-1, 1]
+/// (normalized) with integer labels.
+struct Dataset {
+  tensor::Tensor images;             // [N, C, H, W]
+  std::vector<std::int64_t> labels;  // size N
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.shape()[0]; }
+  std::int64_t channels() const { return images.shape()[1]; }
+  std::int64_t height() const { return images.shape()[2]; }
+  std::int64_t width() const { return images.shape()[3]; }
+
+  /// CHW shape of one sample.
+  tensor::Shape sample_shape() const {
+    return tensor::Shape{images.shape()[1], images.shape()[2], images.shape()[3]};
+  }
+
+  /// Copies the images at `indices` into a contiguous batch tensor.
+  tensor::Tensor gather(const std::vector<std::size_t>& indices) const;
+
+  /// Labels at `indices`.
+  std::vector<std::int64_t> gather_labels(const std::vector<std::size_t>& indices) const;
+
+  /// One sample as a [1, C, H, W] tensor.
+  tensor::Tensor sample(std::int64_t index) const;
+};
+
+/// Iterates a dataset in shuffled mini-batches.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::int64_t batch_size, util::Rng& rng,
+                bool shuffle = true);
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(tensor::Tensor& images, std::vector<std::int64_t>& labels);
+
+  /// Restarts the epoch with a fresh shuffle.
+  void reset();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset* dataset_;
+  std::int64_t batch_size_;
+  util::Rng* rng_;
+  bool shuffle_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace nshd::data

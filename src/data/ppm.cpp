@@ -1,0 +1,69 @@
+#include "data/ppm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+namespace nshd::data {
+
+namespace {
+unsigned char to_byte(float normalized) {
+  const float v = (normalized + 1.0f) * 0.5f * 255.0f;
+  return static_cast<unsigned char>(std::clamp(v, 0.0f, 255.0f));
+}
+
+/// Copies sample `index` into an RGB byte buffer at (row, col) of a sheet
+/// laid out as a grid of s-by-s tiles.
+void blit(const Dataset& ds, std::int64_t index, std::vector<unsigned char>& rgb,
+          std::int64_t sheet_w, std::int64_t row, std::int64_t col) {
+  const std::int64_t s = ds.height();
+  const std::int64_t chw = ds.sample_shape().numel();
+  const float* img = ds.images.data() + index * chw;
+  for (std::int64_t y = 0; y < s; ++y) {
+    for (std::int64_t x = 0; x < s; ++x) {
+      const std::int64_t py = row * s + y;
+      const std::int64_t px = col * s + x;
+      unsigned char* out = rgb.data() + 3 * (py * sheet_w + px);
+      for (int c = 0; c < 3; ++c) out[c] = to_byte(img[c * s * s + y * s + x]);
+    }
+  }
+}
+
+bool write_p6(const std::string& path, std::int64_t w, std::int64_t h,
+              const std::vector<unsigned char>& rgb) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "P6\n" << w << ' ' << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(rgb.data()),
+            static_cast<std::streamsize>(rgb.size()));
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool write_ppm(const Dataset& dataset, std::int64_t index, const std::string& path) {
+  const std::int64_t s = dataset.height();
+  std::vector<unsigned char> rgb(static_cast<std::size_t>(3 * s * s));
+  blit(dataset, index, rgb, s, 0, 0);
+  return write_p6(path, s, s, rgb);
+}
+
+bool write_ppm_sheet(const Dataset& dataset, std::int64_t per_class,
+                     const std::string& path) {
+  const std::int64_t k = dataset.num_classes;
+  const std::int64_t s = dataset.height();
+  const std::int64_t sheet_w = per_class * s;
+  const std::int64_t sheet_h = k * s;
+  std::vector<unsigned char> rgb(static_cast<std::size_t>(3 * sheet_w * sheet_h), 0);
+
+  std::vector<std::int64_t> placed(static_cast<std::size_t>(k), 0);
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    const std::int64_t label = dataset.labels[static_cast<std::size_t>(i)];
+    std::int64_t& count = placed[static_cast<std::size_t>(label)];
+    if (count >= per_class) continue;
+    blit(dataset, i, rgb, sheet_w, label, count);
+    ++count;
+  }
+  return write_p6(path, sheet_w, sheet_h, rgb);
+}
+
+}  // namespace nshd::data

@@ -1,0 +1,21 @@
+// PPM (P6) export of dataset images, for eyeballing SynthCIFAR samples.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace nshd::data {
+
+/// Writes sample `index` of `dataset` as a binary PPM.  Values are mapped
+/// from the normalized [-1, 1] range back to [0, 255].  Returns false on
+/// I/O failure.
+bool write_ppm(const Dataset& dataset, std::int64_t index,
+               const std::string& path);
+
+/// Writes a grid of the first `count` samples of each class as one PPM
+/// contact sheet (classes as rows).
+bool write_ppm_sheet(const Dataset& dataset, std::int64_t per_class,
+                     const std::string& path);
+
+}  // namespace nshd::data

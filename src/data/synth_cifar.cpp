@@ -1,0 +1,190 @@
+#include "data/synth_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace nshd::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Shape family: returns a soft mask value in [0,1] for normalized
+/// coordinates (u, v) in [-1, 1] relative to the shape center.
+float shape_mask(int family, float u, float v, float size) {
+  const float r = std::sqrt(u * u + v * v);
+  auto soft = [](float signed_dist) {
+    // Smoothstep edge of ~0.12 width for anti-aliasing.
+    const float x = std::clamp(0.5f - signed_dist / 0.12f, 0.0f, 1.0f);
+    return x * x * (3.0f - 2.0f * x);
+  };
+  switch (family % 10) {
+    case 0:  // disc
+      return soft(r - size);
+    case 1:  // square
+      return soft(std::max(std::fabs(u), std::fabs(v)) - size);
+    case 2:  // ring
+      return soft(std::fabs(r - size) - 0.18f * size);
+    case 3:  // triangle (upward)
+      return soft(std::max({-v - size, v - size + 2.0f * std::fabs(u)}) * 0.7f);
+    case 4:  // cross
+      return soft(std::min(std::fabs(u), std::fabs(v)) - 0.38f * size) *
+             soft(std::max(std::fabs(u), std::fabs(v)) - size);
+    case 5:  // horizontal bar
+      return soft(std::fabs(v) - 0.42f * size) * soft(std::fabs(u) - size);
+    case 6:  // diamond
+      return soft(std::fabs(u) + std::fabs(v) - 1.2f * size);
+    case 7:  // two discs
+      return std::max(soft(std::hypot(u - 0.5f * size, v) - 0.55f * size),
+                      soft(std::hypot(u + 0.5f * size, v) - 0.55f * size));
+    case 8:  // crescent
+      return std::max(0.0f, soft(r - size) - soft(std::hypot(u - 0.4f * size, v) - 0.8f * size));
+    case 9:  // checker blob
+      return soft(r - size) * (std::sin(u * 6.0f) * std::sin(v * 6.0f) > 0.0f ? 1.0f : 0.35f);
+  }
+  return 0.0f;
+}
+
+struct Palette {
+  float fg[3];
+  float bg[3];
+  float carrier_theta;  // texture orientation
+  float carrier_freq;   // texture spatial frequency
+};
+
+/// Deterministic per-family palette/texture parameters.
+Palette texture_family(int family, util::Rng& class_rng) {
+  Palette p{};
+  const float hue = static_cast<float>(family % 10) / 10.0f * 2.0f * kPi;
+  // Desaturated palettes: color alone is a weak cue, the shape/texture
+  // composition carries most of the class identity (like natural images).
+  const float saturation = 0.55f;
+  p.fg[0] = 0.5f + saturation * 0.5f * std::cos(hue);
+  p.fg[1] = 0.5f + saturation * 0.5f * std::cos(hue + 2.0f * kPi / 3.0f);
+  p.fg[2] = 0.5f + saturation * 0.5f * std::cos(hue + 4.0f * kPi / 3.0f);
+  p.bg[0] = 1.0f - p.fg[0];
+  p.bg[1] = 1.0f - p.fg[1];
+  p.bg[2] = 1.0f - p.fg[2];
+  p.carrier_theta = static_cast<float>(family % 5) * kPi / 5.0f +
+                    class_rng.uniform(-0.05f, 0.05f);
+  p.carrier_freq = 2.0f + static_cast<float>(family % 4) * 1.5f;
+  return p;
+}
+
+}  // namespace
+
+std::string SynthCifarConfig::cache_key(const char* split) const {
+  std::string key = "synthcifar|";
+  key += std::to_string(num_classes) + "|" + std::to_string(samples_per_class) +
+         "|" + std::to_string(image_size) + "|" + std::to_string(noise_stddev) +
+         "|" + std::to_string(jitter_fraction) + "|" +
+         std::to_string(distractor_strength) + "|" + std::to_string(seed) + "|" +
+         split;
+  return key;
+}
+
+Dataset make_synth_cifar(const SynthCifarConfig& config,
+                         std::uint64_t split_seed_offset) {
+  const std::int64_t k = config.num_classes;
+  const std::int64_t per_class = config.samples_per_class;
+  const std::int64_t n = k * per_class;
+  const std::int64_t s = config.image_size;
+
+  Dataset ds;
+  ds.num_classes = k;
+  ds.images = tensor::Tensor(tensor::Shape{n, 3, s, s});
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  util::Rng master(config.seed + 0x9e3779b9ULL * split_seed_offset);
+
+  std::int64_t sample_index = 0;
+  for (std::int64_t c = 0; c < k; ++c) {
+    // Class identity: shape family and texture family.  For 10 classes the
+    // two families coincide (like CIFAR-10's distinct categories); for 100
+    // classes they form a 10x10 product (coarse x fine, like CIFAR-100).
+    const int shape_fam = static_cast<int>(c % 10);
+    const int texture_fam = static_cast<int>((c / 10 + c) % 10);
+    util::Rng class_rng(config.seed * 1315423911ULL + static_cast<std::uint64_t>(c));
+    const Palette pal = texture_family(texture_fam, class_rng);
+    const float base_size = 0.45f + 0.25f * class_rng.next_float();
+
+    for (std::int64_t i = 0; i < per_class; ++i, ++sample_index) {
+      util::Rng rng = master.fork(static_cast<std::uint64_t>(c * 131071 + i) +
+                                  split_seed_offset * 0x51ed2701ULL);
+      const float cx = rng.uniform(-config.jitter_fraction, config.jitter_fraction);
+      const float cy = rng.uniform(-config.jitter_fraction, config.jitter_fraction);
+      const float scale = base_size * rng.uniform(0.65f, 1.3f);
+      const float phase = rng.uniform(0.0f, 2.0f * kPi);
+      const float freq_jitter = rng.uniform(0.8f, 1.25f);
+      const float theta_jitter = rng.uniform(-0.35f, 0.35f);
+      const float rotation = rng.uniform(-0.4f, 0.4f);  // shape rotation, rad
+      const float brightness = rng.uniform(-0.2f, 0.2f);
+      const float contrast = rng.uniform(0.75f, 1.25f);
+      const bool flip = rng.bernoulli(0.5);
+      // Distractors: random off-class blobs to defeat trivial pixel cues.
+      struct Blob {
+        float x, y, size;
+        int family;
+      };
+      const Blob d1{rng.uniform(-0.7f, 0.7f), rng.uniform(-0.7f, 0.7f),
+                    rng.uniform(0.15f, 0.32f), rng.uniform_int(0, 9)};
+      const Blob d2{rng.uniform(-0.8f, 0.8f), rng.uniform(-0.8f, 0.8f),
+                    rng.uniform(0.12f, 0.25f), rng.uniform_int(0, 9)};
+      // Cutout occlusion: a gray square of random position/size.
+      const float ox = rng.uniform(-0.8f, 0.8f), oy = rng.uniform(-0.8f, 0.8f);
+      const float osize = rng.uniform(0.1f, 0.3f);
+      const float cos_r = std::cos(rotation), sin_r = std::sin(rotation);
+      const float theta = pal.carrier_theta + theta_jitter;
+      const float freq = pal.carrier_freq * freq_jitter;
+
+      float* img = ds.images.data() + sample_index * 3 * s * s;
+      for (std::int64_t y = 0; y < s; ++y) {
+        for (std::int64_t x = 0; x < s; ++x) {
+          float u = (2.0f * static_cast<float>(x) / static_cast<float>(s - 1)) - 1.0f;
+          const float v = (2.0f * static_cast<float>(y) / static_cast<float>(s - 1)) - 1.0f;
+          if (flip) u = -u;
+
+          // Rotate the shape's local frame.
+          const float ru = cos_r * (u - cx) - sin_r * (v - cy);
+          const float rv = sin_r * (u - cx) + cos_r * (v - cy);
+          const float mask = shape_mask(shape_fam, ru, rv, scale);
+          // Gabor-like carrier riding on the shape.
+          const float t = std::cos(
+              freq * (u * std::cos(theta) + v * std::sin(theta)) * kPi + phase);
+          const float carrier = 0.5f + 0.5f * t;
+          const float dmask = std::min(
+              1.0f, config.distractor_strength *
+                        (shape_mask(d1.family, u - d1.x, v - d1.y, d1.size) +
+                         shape_mask(d2.family, u - d2.x, v - d2.y, d2.size)));
+          const bool occluded =
+              std::fabs(u - ox) < osize && std::fabs(v - oy) < osize;
+
+          for (int ch = 0; ch < 3; ++ch) {
+            float value = pal.bg[ch] * (1.0f - mask) + pal.fg[ch] * mask * carrier;
+            value = value * (1.0f - dmask) + dmask * (0.5f + 0.5f * pal.bg[ch]);
+            if (occluded) value = 0.5f;
+            value = (value - 0.5f) * contrast + 0.5f + brightness;
+            value += rng.normal(0.0f, config.noise_stddev);
+            // Normalize to roughly [-1, 1].
+            img[ch * s * s + y * s + x] = 2.0f * std::clamp(value, 0.0f, 1.0f) - 1.0f;
+          }
+        }
+      }
+      ds.labels[static_cast<std::size_t>(sample_index)] = c;
+    }
+  }
+  return ds;
+}
+
+TrainTest make_synth_cifar_split(const SynthCifarConfig& train_config,
+                                 std::int64_t test_samples_per_class) {
+  TrainTest tt;
+  tt.train = make_synth_cifar(train_config, /*split_seed_offset=*/0);
+  SynthCifarConfig test_config = train_config;
+  test_config.samples_per_class = test_samples_per_class;
+  tt.test = make_synth_cifar(test_config, /*split_seed_offset=*/1);
+  return tt;
+}
+
+}  // namespace nshd::data

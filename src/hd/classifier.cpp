@@ -1,0 +1,219 @@
+#include "hd/classifier.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nshd::hd {
+
+HdClassifier::HdClassifier(std::int64_t num_classes, std::int64_t dim)
+    : num_classes_(num_classes),
+      dim_(dim),
+      bank_(tensor::Shape{num_classes, dim}),
+      norms_(static_cast<std::size_t>(num_classes), 0.0f) {}
+
+void HdClassifier::refresh_norms() const {
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    const float* row = class_vector(c);
+    double sq = 0.0;
+    for (std::int64_t d = 0; d < dim_; ++d) sq += static_cast<double>(row[d]) * row[d];
+    norms_[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(sq));
+  }
+  norms_valid_ = true;
+}
+
+void HdClassifier::bundle_init(const std::vector<Hypervector>& samples,
+                               const std::vector<std::int64_t>& labels) {
+  assert(samples.size() == labels.size());
+  bank_.zero();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    assert(samples[i].dim() == dim_);
+    assert(labels[i] >= 0 && labels[i] < num_classes_);
+    axpy(class_vector(labels[i]), 1.0f, samples[i]);
+  }
+  norms_valid_ = false;
+}
+
+std::int64_t HdClassifier::add_class(const std::vector<Hypervector>& samples) {
+  assert(!samples.empty());
+  const std::int64_t new_index = num_classes_;
+  tensor::Tensor grown(tensor::Shape{num_classes_ + 1, dim_});
+  std::copy(bank_.span().begin(), bank_.span().end(), grown.data());
+  bank_ = std::move(grown);
+  ++num_classes_;
+  norms_.push_back(0.0f);
+  for (const Hypervector& h : samples) {
+    assert(h.dim() == dim_);
+    axpy(class_vector(new_index), 1.0f, h);
+  }
+  norms_valid_ = false;
+  return new_index;
+}
+
+std::vector<float> HdClassifier::similarities(const Hypervector& query,
+                                              Similarity metric) const {
+  assert(query.dim() == dim_);
+  std::vector<float> sims(static_cast<std::size_t>(num_classes_));
+  const double query_norm = std::sqrt(static_cast<double>(dim_));
+  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    const double raw = dot(class_vector(c), query);
+    if (metric == Similarity::kDot) {
+      sims[static_cast<std::size_t>(c)] = static_cast<float>(raw / dim_);
+    } else {
+      const double denom =
+          std::max(1e-9, static_cast<double>(norms_[static_cast<std::size_t>(c)]) * query_norm);
+      sims[static_cast<std::size_t>(c)] = static_cast<float>(raw / denom);
+    }
+  }
+  return sims;
+}
+
+std::int64_t HdClassifier::predict(const Hypervector& query, Similarity metric) const {
+  const std::vector<float> sims = similarities(query, metric);
+  std::int64_t best = 0;
+  for (std::int64_t c = 1; c < num_classes_; ++c)
+    if (sims[static_cast<std::size_t>(c)] > sims[static_cast<std::size_t>(best)]) best = c;
+  return best;
+}
+
+double HdClassifier::mass_epoch(const std::vector<Hypervector>& samples,
+                                const std::vector<std::int64_t>& labels,
+                                const MassConfig& config) {
+  assert(samples.size() == labels.size());
+  std::int64_t correct = 0;
+  std::vector<float> update(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const std::vector<float> sims = similarities(samples[i], config.similarity);
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < num_classes_; ++c)
+      if (sims[static_cast<std::size_t>(c)] > sims[static_cast<std::size_t>(best)]) best = c;
+    if (best == labels[i]) ++correct;
+
+    // U = one_hot - delta(M, H): large corrections for erroneous classes.
+    for (std::int64_t c = 0; c < num_classes_; ++c) {
+      update[static_cast<std::size_t>(c)] =
+          (c == labels[i] ? 1.0f : 0.0f) - sims[static_cast<std::size_t>(c)];
+    }
+    apply_update(samples[i], update, config.learning_rate);
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+double HdClassifier::perceptron_epoch(const std::vector<Hypervector>& samples,
+                                      const std::vector<std::int64_t>& labels,
+                                      float learning_rate, Similarity metric) {
+  assert(samples.size() == labels.size());
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const std::int64_t predicted = predict(samples[i], metric);
+    if (predicted == labels[i]) {
+      ++correct;
+      continue;
+    }
+    axpy(class_vector(labels[i]), learning_rate, samples[i]);
+    axpy(class_vector(predicted), -learning_rate, samples[i]);
+    norms_valid_ = false;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+void HdClassifier::train(const std::vector<Hypervector>& samples,
+                         const std::vector<std::int64_t>& labels,
+                         const MassConfig& config) {
+  // Start from bundling when the bank is untouched (all zeros).
+  bool all_zero = true;
+  for (float x : bank_.span()) {
+    if (x != 0.0f) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) bundle_init(samples, labels);
+  for (std::int64_t e = 0; e < config.epochs; ++e) {
+    mass_epoch(samples, labels, config);
+  }
+}
+
+double HdClassifier::evaluate(const std::vector<Hypervector>& samples,
+                              const std::vector<std::int64_t>& labels,
+                              Similarity metric) const {
+  assert(samples.size() == labels.size());
+  if (samples.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (predict(samples[i], metric) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+void HdClassifier::apply_update(const Hypervector& sample,
+                                const std::vector<float>& update,
+                                float learning_rate) {
+  assert(static_cast<std::int64_t>(update.size()) == num_classes_);
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    const float u = update[static_cast<std::size_t>(c)];
+    if (u == 0.0f) continue;
+    axpy(class_vector(c), learning_rate * u, sample);
+  }
+  norms_valid_ = false;
+}
+
+tensor::Tensor HdClassifier::query_gradient(const std::vector<float>& update) const {
+  assert(static_cast<std::int64_t>(update.size()) == num_classes_);
+  tensor::Tensor g(tensor::Shape{dim_});
+  if (!norms_valid_) refresh_norms();
+  const double query_norm = std::sqrt(static_cast<double>(dim_));
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    // Loss decreases when similarity to under-predicted classes rises, so
+    // the ascent direction on H is sum_c u_c * C_c (normalized); we return
+    // the negative (descent on -similarity alignment).
+    const float u = update[static_cast<std::size_t>(c)];
+    if (u == 0.0f) continue;
+    const double denom =
+        std::max(1e-9, static_cast<double>(norms_[static_cast<std::size_t>(c)]) * query_norm);
+    const float scale = static_cast<float>(-u / denom);
+    const float* row = class_vector(c);
+    for (std::int64_t d = 0; d < dim_; ++d) g[d] += scale * row[d];
+  }
+  return g;
+}
+
+std::vector<Hypervector> HdClassifier::quantized_classes() const {
+  std::vector<Hypervector> out;
+  out.reserve(static_cast<std::size_t>(num_classes_));
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    out.push_back(Hypervector::from_sign(class_vector(c), dim_));
+  }
+  return out;
+}
+
+double HdClassifier::evaluate_quantized(const std::vector<Hypervector>& samples,
+                                        const std::vector<std::int64_t>& labels) const {
+  assert(samples.size() == labels.size());
+  if (samples.empty()) return 0.0;
+  const std::vector<Hypervector> quantized = quantized_classes();
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (predict_quantized(quantized, samples[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+std::int64_t HdClassifier::predict_quantized(const std::vector<Hypervector>& classes,
+                                             const Hypervector& query) {
+  assert(!classes.empty());
+  std::int64_t best = 0;
+  std::int64_t best_dot = classes[0].dot(query);
+  for (std::size_t c = 1; c < classes.size(); ++c) {
+    const std::int64_t d = classes[c].dot(query);
+    if (d > best_dot) {
+      best_dot = d;
+      best = static_cast<std::int64_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace nshd::hd

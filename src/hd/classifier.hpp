@@ -1,0 +1,115 @@
+// HD classification model: class hypervectors, one-shot bundling, MASS
+// retraining (CascadeHD [3]), and similarity-based inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hd/hypervector.hpp"
+#include "tensor/tensor.hpp"
+
+namespace nshd::hd {
+
+/// Similarity metric between a (float) class hypervector and a bipolar
+/// query.
+enum class Similarity {
+  kDot,     // raw dot product / D
+  kCosine,  // dot / (||C|| * ||H||), the default for MASS
+};
+
+struct MassConfig {
+  float learning_rate = 0.035f;
+  std::int64_t epochs = 20;
+  Similarity similarity = Similarity::kCosine;
+  std::uint64_t seed = 5;
+};
+
+/// The class-hypervector bank M = [C_0 ... C_{k-1}], stored as floats during
+/// training (the paper quantizes only for deployment).
+class HdClassifier {
+ public:
+  HdClassifier(std::int64_t num_classes, std::int64_t dim);
+
+  std::int64_t num_classes() const { return num_classes_; }
+  std::int64_t dim() const { return dim_; }
+
+  /// One-shot initialization: bundle every sample hypervector into its class
+  /// centroid (classic HD learning).
+  void bundle_init(const std::vector<Hypervector>& samples,
+                   const std::vector<std::int64_t>& labels);
+
+  /// Incremental class learning — the hallmark HD capability: appends a new
+  /// class whose hypervector is the bundle of `samples`, without touching
+  /// (or retraining) the existing bank.  Returns the new class index.
+  std::int64_t add_class(const std::vector<Hypervector>& samples);
+
+  /// Class-wise similarity vector delta(M, H), using the configured metric.
+  /// Cosine values land in [-1, 1].
+  std::vector<float> similarities(const Hypervector& query, Similarity metric) const;
+
+  /// argmax of similarities().
+  std::int64_t predict(const Hypervector& query, Similarity metric = Similarity::kCosine) const;
+
+  /// One MASS epoch over the training set; returns training accuracy before
+  /// updates (so convergence is observable).  Update rule (Sec. V-A):
+  ///   U = one_hot - delta(M, H);  M += lr * U^T (outer) H.
+  double mass_epoch(const std::vector<Hypervector>& samples,
+                    const std::vector<std::int64_t>& labels,
+                    const MassConfig& config);
+
+  /// One epoch of classic perceptron-style HD retraining (the pre-MASS
+  /// scheme of VoiceHD-era work [12]): only on mispredicted samples, add H
+  /// to the true class and subtract it from the wrongly-predicted class.
+  /// Kept as an ablation baseline against MASS's class-wise scaling.
+  double perceptron_epoch(const std::vector<Hypervector>& samples,
+                          const std::vector<std::int64_t>& labels,
+                          float learning_rate,
+                          Similarity metric = Similarity::kCosine);
+
+  /// Full MASS retraining: bundling init happens first if the bank is empty.
+  void train(const std::vector<Hypervector>& samples,
+             const std::vector<std::int64_t>& labels, const MassConfig& config);
+
+  /// Inference accuracy over a labeled set.
+  double evaluate(const std::vector<Hypervector>& samples,
+                  const std::vector<std::int64_t>& labels,
+                  Similarity metric = Similarity::kCosine) const;
+
+  /// Applies M += lr * u^T (outer) H for one sample given its update vector
+  /// u (length K).  Exposed for the knowledge-distillation trainer.
+  void apply_update(const Hypervector& sample, const std::vector<float>& update,
+                    float learning_rate);
+
+  /// Gradient of the loss with respect to the query hypervector under the
+  /// update vector u: g_h[d] = -sum_i u_i * M[i][d] / normalizer_i.  Used by
+  /// the manifold-learner backprop (Sec. V-C).
+  tensor::Tensor query_gradient(const std::vector<float>& update) const;
+
+  float* class_vector(std::int64_t c) { return bank_.data() + c * dim_; }
+  const float* class_vector(std::int64_t c) const { return bank_.data() + c * dim_; }
+  const tensor::Tensor& bank() const { return bank_; }
+  tensor::Tensor& bank() { return bank_; }
+
+  /// Deployment quantization: binarize class vectors to packed bipolar form
+  /// (used by the FPGA path; inference then is pure popcount).
+  std::vector<Hypervector> quantized_classes() const;
+
+  /// Prediction with a binarized bank (Hamming similarity).
+  static std::int64_t predict_quantized(const std::vector<Hypervector>& classes,
+                                        const Hypervector& query);
+
+  /// Accuracy of the deployment-quantized (binarized) class bank — the
+  /// Vitis-AI quantization path of Sec. VI-B, whose accuracy impact the
+  /// paper reports as "very minor".
+  double evaluate_quantized(const std::vector<Hypervector>& samples,
+                            const std::vector<std::int64_t>& labels) const;
+
+ private:
+  std::int64_t num_classes_, dim_;
+  tensor::Tensor bank_;                // [K, D]
+  mutable std::vector<float> norms_;   // cached L2 norms per class
+  mutable bool norms_valid_ = false;
+  void refresh_norms() const;
+};
+
+}  // namespace nshd::hd

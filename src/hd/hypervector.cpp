@@ -1,0 +1,127 @@
+#include "hd/hypervector.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace nshd::hd {
+
+void Hypervector::mask_tail() {
+  const int tail = static_cast<int>(dim_ & 63);
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1ULL;
+  }
+}
+
+Hypervector Hypervector::random(std::int64_t dim, util::Rng& rng) {
+  Hypervector h(dim);
+  for (auto& w : h.words_) w = rng.next_u64();
+  h.mask_tail();
+  return h;
+}
+
+Hypervector Hypervector::from_sign(const float* values, std::int64_t dim) {
+  Hypervector h(dim);
+  for (std::int64_t i = 0; i < dim; ++i) {
+    if (values[i] >= 0.0f) h.words_[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+  }
+  return h;
+}
+
+Hypervector Hypervector::from_sign(const tensor::Tensor& values) {
+  return from_sign(values.data(), values.numel());
+}
+
+tensor::Tensor Hypervector::to_tensor() const {
+  tensor::Tensor t(tensor::Shape{dim_});
+  for (std::int64_t i = 0; i < dim_; ++i) t[i] = get(i);
+  return t;
+}
+
+Hypervector Hypervector::bind(const Hypervector& other) const {
+  assert(dim_ == other.dim_);
+  Hypervector out(dim_);
+  // Bipolar multiply: (+1,+1)->+1, (-1,-1)->+1, else -1 == XNOR of bits.
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    out.words_[w] = ~(words_[w] ^ other.words_[w]);
+  }
+  out.mask_tail();
+  return out;
+}
+
+std::int64_t Hypervector::hamming(const Hypervector& other) const {
+  assert(dim_ == other.dim_);
+  std::int64_t distance = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    distance += std::popcount(words_[w] ^ other.words_[w]);
+  }
+  return distance;
+}
+
+std::int64_t Hypervector::dot(const Hypervector& other) const {
+  return dim_ - 2 * hamming(other);
+}
+
+double dot(const float* m, const Hypervector& h) {
+  // dot = 2 * sum(m where bit=+1) - sum(all m): the full sum vectorizes and
+  // only set bits need individual visits.
+  const std::int64_t dim = h.dim();
+  double total = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) total += m[i];
+
+  const std::uint64_t* words = h.words();
+  double positive = 0.0;
+  const auto word_count = static_cast<std::int64_t>(h.word_count());
+  for (std::int64_t w = 0; w < word_count; ++w) {
+    std::uint64_t bits = words[w];
+    const std::int64_t base = w << 6;
+    while (bits != 0) {
+      positive += m[base + std::countr_zero(bits)];
+      bits &= bits - 1;
+    }
+  }
+  return 2.0 * positive - total;
+}
+
+void axpy(float* m, float alpha, const Hypervector& h) {
+  // m += alpha * h  ==  m -= alpha everywhere, then m += 2*alpha at +1 bits.
+  const std::int64_t dim = h.dim();
+  for (std::int64_t i = 0; i < dim; ++i) m[i] -= alpha;
+  const float twice = 2.0f * alpha;
+  const std::uint64_t* words = h.words();
+  const auto word_count = static_cast<std::int64_t>(h.word_count());
+  for (std::int64_t w = 0; w < word_count; ++w) {
+    std::uint64_t bits = words[w];
+    const std::int64_t base = w << 6;
+    while (bits != 0) {
+      m[base + std::countr_zero(bits)] += twice;
+      bits &= bits - 1;
+    }
+  }
+}
+
+void BundleAccumulator::add(const Hypervector& h) {
+  assert(h.dim() == dim());
+  for (std::int64_t i = 0; i < h.dim(); ++i) {
+    counts_[static_cast<std::size_t>(i)] += h.get(i) > 0.0f ? 1 : -1;
+  }
+  ++added_;
+}
+
+Hypervector BundleAccumulator::majority(util::Rng& tie_breaker) const {
+  Hypervector out(dim());
+  for (std::int64_t i = 0; i < dim(); ++i) {
+    const std::int32_t c = counts_[static_cast<std::size_t>(i)];
+    const bool positive = c > 0 || (c == 0 && tie_breaker.bernoulli(0.5));
+    out.set(i, positive);
+  }
+  return out;
+}
+
+tensor::Tensor BundleAccumulator::to_tensor() const {
+  tensor::Tensor t(tensor::Shape{dim()});
+  for (std::int64_t i = 0; i < dim(); ++i)
+    t[i] = static_cast<float>(counts_[static_cast<std::size_t>(i)]);
+  return t;
+}
+
+}  // namespace nshd::hd

@@ -1,0 +1,110 @@
+// Bipolar hypervectors with bit-packed storage.
+//
+// A bipolar hypervector h in {-1,+1}^D is stored as ceil(D/64) 64-bit words,
+// bit=1 encoding +1.  This mirrors the paper's GPU trick (Sec. VI-A): binary
+// hypervectors live in a compact read-only bank and all arithmetic against
+// float data reduces to sign-dependent add/subtract — no multiplies — while
+// binary-binary similarity reduces to popcount.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::hd {
+
+class Hypervector {
+ public:
+  Hypervector() = default;
+
+  /// All -1 vector of the given dimensionality.
+  explicit Hypervector(std::int64_t dim)
+      : dim_(dim), words_(static_cast<std::size_t>((dim + 63) / 64), 0) {}
+
+  /// Random bipolar hypervector (i.i.d. fair bits).
+  static Hypervector random(std::int64_t dim, util::Rng& rng);
+
+  /// sign() of a float vector; zero maps to +1 (sign ties are broken
+  /// deterministically toward +1).
+  static Hypervector from_sign(const float* values, std::int64_t dim);
+  static Hypervector from_sign(const tensor::Tensor& values);
+
+  std::int64_t dim() const { return dim_; }
+  std::size_t word_count() const { return words_.size(); }
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* words() { return words_.data(); }
+
+  /// Element as +1/-1.
+  float get(std::int64_t i) const {
+    return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1ULL ? 1.0f : -1.0f;
+  }
+
+  void set(std::int64_t i, bool positive) {
+    const auto w = static_cast<std::size_t>(i >> 6);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (positive)
+      words_[w] |= mask;
+    else
+      words_[w] &= ~mask;
+  }
+
+  /// Unpacks to a float tensor of +1/-1 values.
+  tensor::Tensor to_tensor() const;
+
+  /// Flips bit i (binding with a single-position role vector).
+  void flip(std::int64_t i) {
+    words_[static_cast<std::size_t>(i >> 6)] ^= 1ULL << (i & 63);
+  }
+
+  /// Elementwise XOR-binding with another hypervector (bipolar multiply).
+  Hypervector bind(const Hypervector& other) const;
+
+  /// Hamming distance (number of differing positions).
+  std::int64_t hamming(const Hypervector& other) const;
+
+  /// Bipolar dot product: D - 2 * hamming.
+  std::int64_t dot(const Hypervector& other) const;
+
+  bool operator==(const Hypervector& other) const {
+    return dim_ == other.dim_ && words_ == other.words_;
+  }
+
+ private:
+  std::int64_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+  /// Clears padding bits above dim_ so popcounts are exact.
+  void mask_tail();
+};
+
+/// dot(m, h) for float m[0..D) against a packed bipolar h — the
+/// multiplication-free kernel of the paper: adds m[i] where bit=+1,
+/// subtracts where bit=-1.
+double dot(const float* m, const Hypervector& h);
+
+/// m += alpha * h for float m[0..D) (MASS update kernel).
+void axpy(float* m, float alpha, const Hypervector& h);
+
+/// Bundling accumulator: sums bipolar hypervectors into integer counters,
+/// thresholds to a bipolar result (majority vote).
+class BundleAccumulator {
+ public:
+  explicit BundleAccumulator(std::int64_t dim) : counts_(static_cast<std::size_t>(dim), 0) {}
+
+  void add(const Hypervector& h);
+  std::int64_t count() const { return added_; }
+  std::int64_t dim() const { return static_cast<std::int64_t>(counts_.size()); }
+
+  /// Majority-vote bipolar hypervector; ties broken by `tie_breaker`.
+  Hypervector majority(util::Rng& tie_breaker) const;
+
+  /// Raw counters as floats (non-binarized class prototype).
+  tensor::Tensor to_tensor() const;
+
+ private:
+  std::vector<std::int32_t> counts_;
+  std::int64_t added_ = 0;
+};
+
+}  // namespace nshd::hd

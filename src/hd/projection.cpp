@@ -1,0 +1,94 @@
+#include "hd/projection.hpp"
+
+#include <cassert>
+
+namespace nshd::hd {
+
+RandomProjection::RandomProjection(std::int64_t dim, std::int64_t features,
+                                   util::Rng& rng)
+    : dim_(dim), features_(features), words_per_row_((features + 63) / 64) {
+  assert(dim > 0 && features > 0);
+  bits_.resize(static_cast<std::size_t>(dim_ * words_per_row_));
+  for (auto& w : bits_) w = rng.next_u64();
+  // Zero the padding bits of each row so row-sums are exact.
+  const int tail = static_cast<int>(features_ & 63);
+  if (tail != 0) {
+    const std::uint64_t mask = (1ULL << tail) - 1ULL;
+    for (std::int64_t r = 0; r < dim_; ++r) {
+      bits_[static_cast<std::size_t>((r + 1) * words_per_row_ - 1)] &= mask;
+    }
+  }
+}
+
+tensor::Tensor RandomProjection::project(const float* v) const {
+  tensor::Tensor z(tensor::Shape{dim_});
+  // Per row: sum_i P[r,i] * v[i] = 2 * sum_{bits set} v[i] - sum_all v.
+  double total = 0.0;
+  for (std::int64_t i = 0; i < features_; ++i) total += v[i];
+
+  for (std::int64_t r = 0; r < dim_; ++r) {
+    const std::uint64_t* row = bits_.data() + r * words_per_row_;
+    double pos = 0.0;
+    for (std::int64_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      const std::int64_t base = w << 6;
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        pos += v[base + b];
+        bits &= bits - 1;
+      }
+    }
+    z[r] = static_cast<float>(2.0 * pos - total);
+  }
+  return z;
+}
+
+tensor::Tensor RandomProjection::project(const tensor::Tensor& v) const {
+  assert(v.numel() == features_);
+  return project(v.data());
+}
+
+Hypervector RandomProjection::encode(const float* v) const {
+  const tensor::Tensor z = project(v);
+  return Hypervector::from_sign(z);
+}
+
+Hypervector RandomProjection::encode(const tensor::Tensor& v) const {
+  assert(v.numel() == features_);
+  return encode(v.data());
+}
+
+Hypervector RandomProjection::encode(const tensor::Tensor& v,
+                                     tensor::Tensor& pre_sign) const {
+  assert(v.numel() == features_);
+  pre_sign = project(v.data());
+  return Hypervector::from_sign(pre_sign);
+}
+
+tensor::Tensor RandomProjection::decode(const tensor::Tensor& g_h) const {
+  assert(g_h.numel() == dim_);
+  tensor::Tensor g_v(tensor::Shape{features_});
+  // g_v[i] = sum_r P[r,i] g_r = 2 * sum_{r: bit i set} g_r - sum_r g_r, so
+  // only set bits need visiting.
+  double total = 0.0;
+  for (std::int64_t r = 0; r < dim_; ++r) total += g_h[r];
+  for (std::int64_t r = 0; r < dim_; ++r) {
+    const float g = g_h[r];
+    if (g == 0.0f) continue;
+    const std::uint64_t* row = bits_.data() + r * words_per_row_;
+    for (std::int64_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      const std::int64_t base = w << 6;
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        g_v[base + b] += g;
+        bits &= bits - 1;
+      }
+    }
+  }
+  const auto t = static_cast<float>(total);
+  for (std::int64_t i = 0; i < features_; ++i) g_v[i] = 2.0f * g_v[i] - t;
+  return g_v;
+}
+
+}  // namespace nshd::hd

@@ -1,0 +1,60 @@
+// Binary random-projection encoder (Sec. IV-B) and its decoder (Sec. V-C).
+//
+// Encoding: H = sign(P . v) with P a D x F bipolar matrix whose rows are the
+// paper's "base hypervectors".  P is stored bit-packed; the projection is a
+// multiplication-free signed accumulation.  Decoding applies P^T — "binding
+// with the projection hypervectors and the dot-product operation in turn" —
+// and is what carries class-hypervector errors back into feature space when
+// training the manifold layer.
+#pragma once
+
+#include <cstdint>
+
+#include "hd/hypervector.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::hd {
+
+class RandomProjection {
+ public:
+  /// P in {-1,+1}^{dim x features}, sampled i.i.d. from `rng`.
+  RandomProjection(std::int64_t dim, std::int64_t features, util::Rng& rng);
+
+  std::int64_t dim() const { return dim_; }
+  std::int64_t features() const { return features_; }
+
+  /// Pre-sign projection z = P . v (length dim); callers that need the
+  /// straight-through-estimator mask keep this around.
+  tensor::Tensor project(const float* v) const;
+  tensor::Tensor project(const tensor::Tensor& v) const;
+
+  /// Full encoding H = sign(P . v).
+  Hypervector encode(const float* v) const;
+  Hypervector encode(const tensor::Tensor& v) const;
+
+  /// Encode and also return the pre-sign activations in `pre_sign`.
+  Hypervector encode(const tensor::Tensor& v, tensor::Tensor& pre_sign) const;
+
+  /// Decode / adjoint: g_v = P^T . g_h (length features).
+  tensor::Tensor decode(const tensor::Tensor& g_h) const;
+
+  /// Element of P as +1/-1.
+  float element(std::int64_t row, std::int64_t col) const {
+    const std::int64_t bit_index = row * words_per_row_ * 64 + col;
+    return (bits_[static_cast<std::size_t>(bit_index >> 6)] >> (bit_index & 63)) & 1ULL
+               ? 1.0f
+               : -1.0f;
+  }
+
+  /// Storage cost in bytes (packed), as deployed on the accelerator.
+  std::int64_t packed_bytes() const {
+    return dim_ * words_per_row_ * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  }
+
+ private:
+  std::int64_t dim_, features_, words_per_row_;
+  std::vector<std::uint64_t> bits_;  // row-major, words_per_row_ per row
+};
+
+}  // namespace nshd::hd

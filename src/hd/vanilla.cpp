@@ -1,0 +1,82 @@
+#include "hd/vanilla.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace nshd::hd {
+
+IdLevelEncoder::IdLevelEncoder(std::int64_t features, const IdLevelConfig& config)
+    : features_(features), config_(config) {
+  assert(features > 0 && config.dim > 0 && config.levels >= 2);
+  util::Rng rng(config.seed);
+
+  id_hvs_.reserve(static_cast<std::size_t>(features));
+  for (std::int64_t i = 0; i < features; ++i) {
+    id_hvs_.push_back(Hypervector::random(config_.dim, rng));
+  }
+
+  // Level chain: start from a random hypervector and flip a disjoint-ish
+  // random subset of D/(2*(Q-1)) positions per step; L_{Q-1} ends up roughly
+  // orthogonal to L_0 while neighbours stay highly similar.
+  level_hvs_.reserve(static_cast<std::size_t>(config_.levels));
+  level_hvs_.push_back(Hypervector::random(config_.dim, rng));
+  const std::int64_t flips_per_step =
+      std::max<std::int64_t>(1, config_.dim / (2 * (config_.levels - 1)));
+  for (std::int64_t q = 1; q < config_.levels; ++q) {
+    Hypervector next = level_hvs_.back();
+    for (std::int64_t f = 0; f < flips_per_step; ++f) {
+      next.flip(static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(config_.dim))));
+    }
+    level_hvs_.push_back(std::move(next));
+  }
+}
+
+std::int64_t IdLevelEncoder::level_of(float value) const {
+  const float span = config_.max_value - config_.min_value;
+  const float unit = (value - config_.min_value) / span;
+  const auto q = static_cast<std::int64_t>(
+      std::floor(unit * static_cast<float>(config_.levels)));
+  return std::clamp<std::int64_t>(q, 0, config_.levels - 1);
+}
+
+Hypervector IdLevelEncoder::encode(const float* values) const {
+  // Majority bundle of id_i (x) level(v_i) without materializing each bound
+  // hypervector.  Per dimension d the counter is 2*S_d - F where S_d counts
+  // features whose bound bit (XNOR of id and level bits) is set, so only set
+  // bits of each XNOR word need visiting.
+  std::vector<std::int32_t> set_counts(static_cast<std::size_t>(config_.dim), 0);
+  const std::size_t words = id_hvs_.front().word_count();
+  for (std::int64_t i = 0; i < features_; ++i) {
+    const std::uint64_t* id = id_hvs_[static_cast<std::size_t>(i)].words();
+    const std::uint64_t* level =
+        level_hvs_[static_cast<std::size_t>(level_of(values[i]))].words();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = ~(id[w] ^ level[w]);
+      // Mask the tail of the last word so padding never counts.
+      if (w + 1 == words && (config_.dim & 63) != 0) {
+        bits &= (1ULL << (config_.dim & 63)) - 1ULL;
+      }
+      const std::int64_t base = static_cast<std::int64_t>(w) << 6;
+      while (bits != 0) {
+        ++set_counts[static_cast<std::size_t>(base + std::countr_zero(bits))];
+        bits &= bits - 1;
+      }
+    }
+  }
+  Hypervector out(config_.dim);
+  const auto threshold = static_cast<std::int32_t>(features_);  // 2*S >= F
+  for (std::int64_t d = 0; d < config_.dim; ++d) {
+    out.set(d, 2 * set_counts[static_cast<std::size_t>(d)] >= threshold);
+  }
+  return out;
+}
+
+Hypervector IdLevelEncoder::encode(const tensor::Tensor& values) const {
+  assert(values.numel() == features_);
+  return encode(values.data());
+}
+
+}  // namespace nshd::hd

@@ -1,0 +1,96 @@
+#include "hw/census.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nshd::hw {
+
+namespace {
+/// Walks layers [0..last] of the model's net accumulating MACs, tracking the
+/// activation shape as it goes.
+std::int64_t walk_macs(models::ZooModel& model, std::size_t last) {
+  tensor::Shape s{1, model.input_chw[0], model.input_chw[1], model.input_chw[2]};
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= last; ++i) {
+    const nn::Layer& layer = model.net.layer(i);
+    if (layer.kind() == nn::LayerKind::kFlatten ||
+        layer.kind() == nn::LayerKind::kLinear) {
+      if (s.rank() == 4) s = tensor::Shape{s[0], s.numel() / s[0]};
+    }
+    const tensor::Shape chw = s.rank() == 4 ? tensor::Shape{s[1], s[2], s[3]}
+                                            : tensor::Shape{s[1]};
+    total += layer.macs_per_sample(chw);
+    s = layer.output_shape(s);
+  }
+  return total;
+}
+
+std::int64_t layer_params(nn::Layer& layer) {
+  std::int64_t total = 0;
+  for (const nn::Param* p : layer.params()) total += p->value.numel();
+  return total;
+}
+}  // namespace
+
+CnnCensus cnn_census(models::ZooModel& model) {
+  CnnCensus census;
+  census.macs = walk_macs(model, model.net.size() - 1);
+  for (std::size_t i = 0; i < model.net.size(); ++i) {
+    census.params += layer_params(model.net.layer(i));
+  }
+  return census;
+}
+
+std::int64_t prefix_macs(models::ZooModel& model, std::size_t cut) {
+  assert(cut < model.net.size());
+  return walk_macs(model, cut);
+}
+
+std::int64_t prefix_params(models::ZooModel& model, std::size_t cut) {
+  assert(cut < model.net.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= cut; ++i) total += layer_params(model.net.layer(i));
+  return total;
+}
+
+std::int64_t pooled_features(const tensor::Shape& chw) {
+  assert(chw.rank() == 3);
+  // Mirrors core::ManifoldLearner: window-2 pooling only when the map has
+  // spatial extent to spare.
+  if (chw[1] >= 4 || chw[2] >= 4) {
+    return chw[0] * std::max<std::int64_t>(1, chw[1] / 2) *
+           std::max<std::int64_t>(1, chw[2] / 2);
+  }
+  return chw.numel();
+}
+
+NshdCensus nshd_census(models::ZooModel& model, std::size_t cut,
+                       std::int64_t dim, std::int64_t f_hat,
+                       std::int64_t num_classes) {
+  NshdCensus census;
+  census.prefix_macs = prefix_macs(model, cut);
+  census.prefix_params = prefix_params(model, cut);
+  const std::int64_t pooled = pooled_features(model.feature_shape_at(cut));
+  census.manifold_macs = pooled * f_hat;
+  census.manifold_params = pooled * f_hat + f_hat;
+  census.encode_macs = f_hat * dim;
+  census.similarity_macs = num_classes * dim;
+  census.projection_bits = f_hat * dim;
+  census.class_params = num_classes * dim;
+  return census;
+}
+
+NshdCensus baseline_census(models::ZooModel& model, std::size_t cut,
+                           std::int64_t dim, std::int64_t num_classes) {
+  NshdCensus census;
+  census.prefix_macs = prefix_macs(model, cut);
+  census.prefix_params = prefix_params(model, cut);
+  const std::int64_t features = model.feature_dim_at(cut);
+  census.encode_macs = features * dim;
+  census.similarity_macs = num_classes * dim;
+  census.projection_bits = features * dim;
+  census.class_params = num_classes * dim;
+  return census;
+}
+
+}  // namespace nshd::hw

@@ -1,0 +1,62 @@
+// Operation/parameter census over the trained (scaled) models.
+//
+// Fig. 5's MAC comparison and the energy/FPGA models consume this census.
+// The binding/bundling accounting follows the paper (Sec. VII-B2): each
+// binding is an element-wise multiply, each bundling an element-wise add, so
+// encoding F features into D dimensions costs F*D MACs; similarity against K
+// class hypervectors costs K*D.
+#pragma once
+
+#include <cstdint>
+
+#include "models/zoo.hpp"
+
+namespace nshd::hw {
+
+/// Census of a full CNN inference (features + head).
+struct CnnCensus {
+  std::int64_t macs = 0;
+  std::int64_t params = 0;
+};
+
+/// Stage-by-stage census of an NSHD (or BaselineHD) inference.
+struct NshdCensus {
+  std::int64_t prefix_macs = 0;      // cut CNN
+  std::int64_t manifold_macs = 0;    // FC regressor (0 for BaselineHD)
+  std::int64_t encode_macs = 0;      // binding/bundling, F_in * D
+  std::int64_t similarity_macs = 0;  // K * D
+  std::int64_t prefix_params = 0;
+  std::int64_t manifold_params = 0;
+  std::int64_t projection_bits = 0;  // D * F_in (bipolar, 1 bit each)
+  std::int64_t class_params = 0;     // K * D floats
+
+  std::int64_t total_macs() const {
+    return prefix_macs + manifold_macs + encode_macs + similarity_macs;
+  }
+  std::int64_t hd_macs() const {
+    return manifold_macs + encode_macs + similarity_macs;
+  }
+};
+
+/// MACs for one inference through the full model (scaled zoo entry).
+CnnCensus cnn_census(models::ZooModel& model);
+
+/// MACs/params of layers [0..cut] only.
+std::int64_t prefix_macs(models::ZooModel& model, std::size_t cut);
+std::int64_t prefix_params(models::ZooModel& model, std::size_t cut);
+
+/// Census for NSHD at a cut: manifold (maxpool/2 + FC to f_hat) + encoding
+/// at dimensionality `dim` + similarity over `num_classes`.
+NshdCensus nshd_census(models::ZooModel& model, std::size_t cut,
+                       std::int64_t dim, std::int64_t f_hat,
+                       std::int64_t num_classes);
+
+/// Census for BaselineHD at a cut: raw features straight into the encoder
+/// (no manifold), as in prior work [9].
+NshdCensus baseline_census(models::ZooModel& model, std::size_t cut,
+                           std::int64_t dim, std::int64_t num_classes);
+
+/// Pooled feature count after the manifold's window-2 maxpool.
+std::int64_t pooled_features(const tensor::Shape& chw);
+
+}  // namespace nshd::hw

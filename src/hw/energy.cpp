@@ -1,0 +1,37 @@
+#include "hw/energy.hpp"
+
+namespace nshd::hw {
+
+EnergyBreakdown cnn_energy(const CnnCensus& census, const EnergyCoefficients& c) {
+  EnergyBreakdown e;
+  e.compute_pj = static_cast<double>(census.macs) * c.fp16_mac_pj;
+  // FP16 deployment: 2 bytes per parameter streamed from DRAM per inference
+  // (batch-1 edge inference cannot amortize weight reuse across samples).
+  e.weight_memory_pj = static_cast<double>(census.params) * 2.0 * c.dram_pj_per_byte;
+  return e;
+}
+
+EnergyBreakdown nshd_energy(const NshdCensus& census, const EnergyCoefficients& c) {
+  EnergyBreakdown e;
+  e.compute_pj = static_cast<double>(census.prefix_macs) * c.fp16_mac_pj +
+                 static_cast<double>(census.manifold_macs) * c.int8_mac_pj +
+                 static_cast<double>(census.encode_macs + census.similarity_macs) *
+                     c.binary_op_pj;
+  const double prefix_bytes = static_cast<double>(census.prefix_params) * 2.0;
+  const double manifold_bytes = static_cast<double>(census.manifold_params) * 1.0;
+  const double projection_bytes = static_cast<double>(census.projection_bits) / 8.0;
+  const double class_bytes = static_cast<double>(census.class_params) * 2.0;
+  // Projection + class banks are small enough to pin in on-chip memory
+  // (constant memory in the CUDA implementation, Sec. VI-A).
+  e.weight_memory_pj = (prefix_bytes + manifold_bytes) * c.dram_pj_per_byte +
+                       (projection_bytes + class_bytes) * c.sram_pj_per_byte;
+  return e;
+}
+
+double energy_improvement(const EnergyBreakdown& cnn, const EnergyBreakdown& nshd) {
+  const double cnn_total = cnn.total_pj();
+  if (cnn_total <= 0.0) return 0.0;
+  return (cnn_total - nshd.total_pj()) / cnn_total;
+}
+
+}  // namespace nshd::hw

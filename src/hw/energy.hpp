@@ -1,0 +1,48 @@
+// Analytic inference-energy model for an embedded GPU (Xavier-class).
+//
+// The paper measures wall power with nvidia-smi on an NVIDIA Xavier; this
+// reproduction substitutes a standard architectural energy model:
+//
+//   E = sum_over_stages( ops * e_op(precision) )
+//     + weight_bytes_touched * e_dram
+//     + activations_bytes * e_sram
+//
+// Coefficients are taken from published 16nm-class per-operation energy
+// surveys (Horowitz ISSCC'14 scaled): an FP16 MAC ~1 pJ, an INT8 MAC
+// ~0.3 pJ, a binary add/sub ~0.1 pJ, DRAM ~80 pJ/byte, on-chip SRAM
+// ~2.5 pJ/byte.  Fig. 4 reports *relative* improvements, which depend only
+// on the ratios of these terms.
+#pragma once
+
+#include "hw/census.hpp"
+
+namespace nshd::hw {
+
+struct EnergyCoefficients {
+  double fp16_mac_pj = 1.0;    // CNN layers run FP16 on tensor cores
+  double int8_mac_pj = 0.30;   // quantized manifold FC
+  double binary_op_pj = 0.10;  // HD add/sub (no multiply, Sec. VI-A)
+  double dram_pj_per_byte = 80.0;
+  double sram_pj_per_byte = 2.5;
+
+  static EnergyCoefficients xavier_like() { return {}; }
+};
+
+struct EnergyBreakdown {
+  double compute_pj = 0.0;
+  double weight_memory_pj = 0.0;
+  double total_pj() const { return compute_pj + weight_memory_pj; }
+  double total_mj() const { return total_pj() * 1e-9; }
+};
+
+/// Energy of one full-CNN inference (FP16 compute, weights streamed once).
+EnergyBreakdown cnn_energy(const CnnCensus& census, const EnergyCoefficients& c);
+
+/// Energy of one NSHD inference: FP16 prefix, INT8 manifold, binary HD ops;
+/// projection weights are bit-packed, class vectors float.
+EnergyBreakdown nshd_energy(const NshdCensus& census, const EnergyCoefficients& c);
+
+/// Percentage improvement of NSHD over the CNN: (E_cnn - E_nshd) / E_cnn.
+double energy_improvement(const EnergyBreakdown& cnn, const EnergyBreakdown& nshd);
+
+}  // namespace nshd::hw

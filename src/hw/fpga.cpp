@@ -1,0 +1,54 @@
+#include "hw/fpga.hpp"
+
+#include <algorithm>
+
+namespace nshd::hw {
+
+std::vector<ResourceRow> FpgaModel::resource_utilization() {
+  // DPU B4096 + AXI interconnect as configured for the ZCU104 deployment.
+  // These mirror the paper's Table I totals; availability figures are the
+  // ZCU104 (XCZU7EV) device limits.
+  return {
+      {"LUT", 84.9e3, 230.4e3},
+      {"FF", 146.5e3, 460.8e3},
+      {"BRAM", 224, 312},
+      {"URAM", 40, 96},
+      {"DSP", 844, 1728},
+  };
+}
+
+double FpgaModel::stage_seconds(double ops, double ops_per_cycle, double bytes) const {
+  const double compute_cycles = ops / ops_per_cycle;
+  const double memory_cycles = bytes / config_.ddr_bytes_per_cycle;
+  return std::max(compute_cycles, memory_cycles) / config_.frequency_hz;
+}
+
+double FpgaModel::cnn_latency_s(const CnnCensus& census, std::size_t layer_count) const {
+  // INT8 deployment: one byte per weight streamed.
+  const double conv_s = stage_seconds(static_cast<double>(census.macs),
+                                      config_.conv_macs_per_cycle,
+                                      static_cast<double>(census.params));
+  const double overhead_s = static_cast<double>(layer_count) *
+                            config_.layer_overhead_cycles / config_.frequency_hz;
+  return conv_s + overhead_s;
+}
+
+double FpgaModel::nshd_latency_s(const NshdCensus& census,
+                                 std::size_t prefix_layers) const {
+  const double prefix_s = stage_seconds(static_cast<double>(census.prefix_macs),
+                                        config_.conv_macs_per_cycle,
+                                        static_cast<double>(census.prefix_params));
+  const double manifold_s = stage_seconds(static_cast<double>(census.manifold_macs),
+                                          config_.conv_macs_per_cycle,
+                                          static_cast<double>(census.manifold_params));
+  // Binding/bundling + similarity: binary data, packed weights.
+  const double hd_ops = static_cast<double>(census.encode_macs + census.similarity_macs);
+  const double hd_bytes = static_cast<double>(census.projection_bits) / 8.0 +
+                          static_cast<double>(census.class_params);
+  const double hd_s = stage_seconds(hd_ops, config_.hd_ops_per_cycle, hd_bytes);
+  const double overhead_s = static_cast<double>(prefix_layers + 3) *
+                            config_.layer_overhead_cycles / config_.frequency_hz;
+  return prefix_s + manifold_s + hd_s + overhead_s;
+}
+
+}  // namespace nshd::hw

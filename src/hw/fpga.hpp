@@ -1,0 +1,72 @@
+// FPGA (ZCU104 + DPU-style) deployment model.
+//
+// The paper maps NSHD onto the Xilinx DPU IP via Vitis AI (Sec. VI-B) and
+// reports Table I (resource utilization), Fig. 6 (throughput) and Fig. 10
+// (dimension/throughput tradeoff).  This module substitutes a roofline-style
+// performance model of a B4096-class DPU:
+//   * convolutions run INT8 on the DSP array at `macs_per_cycle` MAC/cycle,
+//   * HD binding/similarity run as quantized element-wise tensor ops at a
+//     higher per-cycle rate (adds, no multiplies, LUT fabric assists),
+//   * each layer pays a fixed instruction-dispatch overhead,
+//   * weights stream over a bounded DDR bandwidth (the slower of the
+//     compute/bandwidth bounds wins per stage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/census.hpp"
+
+namespace nshd::hw {
+
+/// One row of Table I.
+struct ResourceRow {
+  std::string resource;
+  double used = 0.0;
+  double available = 0.0;
+  double utilization() const { return available > 0.0 ? used / available : 0.0; }
+};
+
+struct FpgaModelConfig {
+  double frequency_hz = 200e6;          // Table I: 200MHz
+  double conv_macs_per_cycle = 2304.0;  // B4096-class DPU at INT8, ~56% eff.
+  double hd_ops_per_cycle = 8192.0;     // binary add/sub on LUT fabric
+  double layer_overhead_cycles = 2000.0;
+  double ddr_bytes_per_cycle = 64.0;    // ~12.8 GB/s effective at 200MHz
+  double power_watts = 4.427;           // Table I
+};
+
+class FpgaModel {
+ public:
+  explicit FpgaModel(const FpgaModelConfig& config = {}) : config_(config) {}
+
+  /// Table I: DPU IP resource usage on the ZCU104 (fixed by the DPU
+  /// configuration, independent of the model mapped onto it).
+  static std::vector<ResourceRow> resource_utilization();
+
+  /// Seconds for one full-CNN inference.
+  double cnn_latency_s(const CnnCensus& census, std::size_t layer_count) const;
+
+  /// Seconds for one NSHD inference (prefix + manifold + HD stages).
+  double nshd_latency_s(const NshdCensus& census, std::size_t prefix_layers) const;
+
+  double cnn_fps(const CnnCensus& census, std::size_t layer_count) const {
+    return 1.0 / cnn_latency_s(census, layer_count);
+  }
+  double nshd_fps(const NshdCensus& census, std::size_t prefix_layers) const {
+    return 1.0 / nshd_latency_s(census, prefix_layers);
+  }
+
+  /// Energy per inference at the plate power (J).
+  double energy_per_inference_j(double latency_s) const {
+    return latency_s * config_.power_watts;
+  }
+
+  const FpgaModelConfig& config() const { return config_; }
+
+ private:
+  double stage_seconds(double ops, double ops_per_cycle, double bytes) const;
+  FpgaModelConfig config_;
+};
+
+}  // namespace nshd::hw

@@ -1,0 +1,300 @@
+#include "hw/fullscale.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace nshd::hw {
+
+std::int64_t ArchModel::feature_params() const {
+  std::int64_t total = 0;
+  for (const ArchUnit& u : features) total += u.params;
+  return total;
+}
+
+std::int64_t ArchModel::total_params_excluding_final_fc() const {
+  std::int64_t total = feature_params();
+  for (const ArchUnit& u : head) total += u.params;
+  return total;
+}
+
+std::int64_t ArchModel::total_macs() const {
+  std::int64_t total = 0;
+  for (const ArchUnit& u : features) total += u.macs;
+  for (const ArchUnit& u : head) total += u.macs;
+  return total;
+}
+
+std::int64_t ArchModel::prefix_params(std::size_t cut) const {
+  assert(cut < features.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= cut; ++i) total += features[i].params;
+  return total;
+}
+
+std::int64_t ArchModel::prefix_macs(std::size_t cut) const {
+  assert(cut < features.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= cut; ++i) total += features[i].macs;
+  return total;
+}
+
+namespace {
+
+/// Builder tracking the running activation shape.
+class ArchBuilder {
+ public:
+  ArchBuilder(std::int64_t c, std::int64_t h, std::int64_t w)
+      : c_(c), h_(h), w_(w) {}
+
+  /// Dense conv with BN (no bias) or with bias (VGG style).
+  void conv(ArchModel& m, std::int64_t out_c, std::int64_t k, std::int64_t s,
+            bool with_bn, const std::string& label, bool to_head = false) {
+    h_ = out_dim(h_, k, s);
+    w_ = out_dim(w_, k, s);
+    ArchUnit u;
+    u.label = label;
+    u.params = out_c * c_ * k * k + (with_bn ? 2 * out_c : out_c);
+    u.macs = out_c * c_ * k * k * h_ * w_;
+    c_ = out_c;
+    set_shape(u);
+    (to_head ? m.head : m.features).push_back(u);
+  }
+
+  void relu(ArchModel& m, const std::string& label) {
+    ArchUnit u;
+    u.label = label;
+    set_shape(u);
+    m.features.push_back(u);
+  }
+
+  void maxpool(ArchModel& m, const std::string& label) {
+    h_ /= 2;
+    w_ /= 2;
+    ArchUnit u;
+    u.label = label;
+    set_shape(u);
+    m.features.push_back(u);
+  }
+
+  /// One MBConv / inverted-residual block as a single unit.
+  ArchUnit mbconv(std::int64_t out_c, std::int64_t expand, std::int64_t k,
+                  std::int64_t s, bool use_se, const std::string& label) {
+    const std::int64_t in_c = c_;
+    const std::int64_t mid = in_c * expand;
+    std::int64_t params = 0, macs = 0;
+    std::int64_t h = h_, w = w_;
+    if (expand != 1) {
+      params += mid * in_c + 2 * mid;  // 1x1 expand + BN
+      macs += mid * in_c * h * w;
+    }
+    h = out_dim(h, k, s);
+    w = out_dim(w, k, s);
+    params += mid * k * k + 2 * mid;  // depthwise + BN
+    macs += mid * k * k * h * w;
+    if (use_se) {
+      // EfficientNet SE: squeeze to in_c/4 of the *block input*, 1x1 convs
+      // with bias.
+      const std::int64_t reduced = std::max<std::int64_t>(1, in_c / 4);
+      params += mid * reduced + reduced;  // fc1
+      params += reduced * mid + mid;      // fc2
+      macs += 2 * mid * reduced + mid * h * w;
+    }
+    params += out_c * mid + 2 * out_c;  // 1x1 project + BN
+    macs += out_c * mid * h * w;
+
+    c_ = out_c;
+    h_ = h;
+    w_ = w;
+    ArchUnit u;
+    u.label = label;
+    u.params = params;
+    u.macs = macs;
+    set_shape(u);
+    return u;
+  }
+
+  /// An EfficientNet stage (n repeated MBConvs) as one indexable unit.
+  void stage(ArchModel& m, std::int64_t out_c, std::int64_t expand,
+             std::int64_t k, std::int64_t s, std::int64_t repeats, bool use_se,
+             const std::string& label) {
+    ArchUnit combined;
+    combined.label = label;
+    for (std::int64_t r = 0; r < repeats; ++r) {
+      const ArchUnit u = mbconv(out_c, expand, k, r == 0 ? s : 1, use_se, label);
+      combined.params += u.params;
+      combined.macs += u.macs;
+      combined.out_c = u.out_c;
+      combined.out_h = u.out_h;
+      combined.out_w = u.out_w;
+    }
+    m.features.push_back(combined);
+  }
+
+  void linear(ArchModel& m, std::int64_t out, const std::string& label) {
+    ArchUnit u;
+    u.label = label;
+    const std::int64_t in = c_ * h_ * w_;
+    u.params = in * out + out;
+    u.macs = in * out;
+    c_ = out;
+    h_ = w_ = 1;
+    set_shape(u);
+    m.head.push_back(u);
+  }
+
+  void global_pool() {
+    h_ = w_ = 1;
+  }
+
+  std::int64_t flat() const { return c_ * h_ * w_; }
+
+ private:
+  static std::int64_t out_dim(std::int64_t in, std::int64_t k, std::int64_t s) {
+    return (in + 2 * (k / 2) - k) / s + 1;
+  }
+  void set_shape(ArchUnit& u) const {
+    u.out_c = c_;
+    u.out_h = h_;
+    u.out_w = w_;
+  }
+  std::int64_t c_, h_, w_;
+};
+
+}  // namespace
+
+ArchModel fullscale_vgg16() {
+  ArchModel m;
+  m.name = "VGG16";
+  ArchBuilder b(3, 224, 224);
+  const std::int64_t widths[13] = {64, 64, 128, 128, 256, 256, 256,
+                                   512, 512, 512, 512, 512, 512};
+  const bool pool_after[13] = {false, true, false, true, false, false, true,
+                               false, false, true, false, false, true};
+  for (int i = 0; i < 13; ++i) {
+    b.conv(m, widths[i], 3, 1, /*with_bn=*/false,
+           "conv3-" + std::to_string(widths[i]));
+    b.relu(m, "relu");
+    if (pool_after[i]) b.maxpool(m, "maxpool");
+  }
+  // Classifier: FC-4096, FC-4096, and the final prediction FC-1000.
+  b.linear(m, 4096, "fc-4096");
+  b.linear(m, 4096, "fc-4096");
+  // Final prediction layer: tracked separately (excluded from the paper's
+  // size accounting).
+  m.final_fc_params = 4096 * 1000 + 1000;
+  return m;
+}
+
+ArchModel fullscale_mobilenetv2() {
+  ArchModel m;
+  m.name = "Mobilenetv2";
+  ArchBuilder b(3, 224, 224);
+  b.conv(m, 32, 3, 2, /*with_bn=*/true, "ConvBNReLU-32");  // 0
+  struct Stage {
+    std::int64_t t, c, n, s;
+  };
+  const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2}, {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1}, {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  for (const Stage& st : stages) {
+    for (std::int64_t r = 0; r < st.n; ++r) {
+      m.features.push_back(b.mbconv(st.c, st.t, 3, r == 0 ? st.s : 1,
+                                    /*use_se=*/false, "InvertedResidual"));
+    }
+  }
+  b.conv(m, 1280, 1, 1, /*with_bn=*/true, "ConvBNReLU-1280");  // 18
+  b.global_pool();
+  m.final_fc_params = 1280 * 1000 + 1000;
+  return m;
+}
+
+namespace {
+ArchModel fullscale_efficientnet(const std::string& name, std::int64_t stem_c,
+                                 const std::vector<std::array<std::int64_t, 5>>& cfg,
+                                 std::int64_t head_c, std::int64_t classes_in) {
+  // cfg entries: {expand, out_c, repeats, stride, kernel}.
+  ArchModel m;
+  m.name = name;
+  ArchBuilder b(3, 224, 224);
+  b.conv(m, stem_c, 3, 2, /*with_bn=*/true, "stem");  // block 0
+  int stage_index = 1;
+  for (const auto& st : cfg) {
+    b.stage(m, st[1], st[0], st[4], st[3], st[2], /*use_se=*/true,
+            "stage" + std::to_string(stage_index++));
+  }
+  b.conv(m, head_c, 1, 1, /*with_bn=*/true, "head-conv");  // block 8
+  b.global_pool();
+  m.final_fc_params = head_c * classes_in + classes_in;
+  return m;
+}
+}  // namespace
+
+ArchModel fullscale_efficientnet_b0() {
+  return fullscale_efficientnet(
+      "Efficientnetb0", 32,
+      {{{1, 16, 1, 1, 3}},
+       {{6, 24, 2, 2, 3}},
+       {{6, 40, 2, 2, 5}},
+       {{6, 80, 3, 2, 3}},
+       {{6, 112, 3, 1, 5}},
+       {{6, 192, 4, 2, 5}},
+       {{6, 320, 1, 1, 3}}},
+      1280, 1000);
+}
+
+ArchModel fullscale_efficientnet_b7() {
+  // Compound scaling: width x2.0, depth x3.1 relative to B0.
+  return fullscale_efficientnet(
+      "Efficientnetb7", 64,
+      {{{1, 32, 4, 1, 3}},
+       {{6, 48, 7, 2, 3}},
+       {{6, 80, 7, 2, 5}},
+       {{6, 160, 10, 2, 3}},
+       {{6, 224, 10, 1, 5}},
+       {{6, 384, 13, 2, 5}},
+       {{6, 640, 4, 1, 3}}},
+      2560, 1000);
+}
+
+ArchModel fullscale_for(const std::string& zoo_name) {
+  if (zoo_name == "vgg16s") return fullscale_vgg16();
+  if (zoo_name == "mobilenetv2s") return fullscale_mobilenetv2();
+  if (zoo_name == "efficientnet_b0s") return fullscale_efficientnet_b0();
+  if (zoo_name == "efficientnet_b7s") return fullscale_efficientnet_b7();
+  throw std::invalid_argument("unknown zoo model: " + zoo_name);
+}
+
+std::int64_t fullscale_pooled_features(const ArchUnit& unit) {
+  if (unit.out_h >= 2 || unit.out_w >= 2) {
+    return unit.out_c * std::max<std::int64_t>(1, unit.out_h / 2) *
+           std::max<std::int64_t>(1, unit.out_w / 2);
+  }
+  return (unit.feature_dim() + 1) / 2;
+}
+
+SizeReport model_size_report(const ArchModel& arch, std::size_t cut,
+                             std::int64_t dim, std::int64_t f_hat,
+                             std::int64_t num_classes) {
+  SizeReport report;
+  report.cnn_bytes =
+      static_cast<double>(arch.total_params_excluding_final_fc()) * 4.0;
+
+  const double prefix_bytes = static_cast<double>(arch.prefix_params(cut)) * 4.0;
+  const double class_bytes = static_cast<double>(num_classes * dim) * 4.0;
+
+  const std::int64_t pooled = fullscale_pooled_features(arch.unit(cut));
+  const double manifold_bytes = static_cast<double>(pooled * f_hat + f_hat) * 4.0;
+  const double nshd_projection_bytes = static_cast<double>(dim * f_hat) / 8.0;
+  report.nshd_bytes =
+      prefix_bytes + manifold_bytes + nshd_projection_bytes + class_bytes;
+
+  const std::int64_t raw = arch.unit(cut).feature_dim();
+  const double baseline_projection_bytes = static_cast<double>(dim * raw) / 8.0;
+  report.baseline_bytes = prefix_bytes + baseline_projection_bytes + class_bytes;
+  return report;
+}
+
+}  // namespace nshd::hw

@@ -1,0 +1,68 @@
+// Full-scale architecture descriptors for the deployment-cost studies.
+//
+// The accuracy experiments run on width-scaled 32x32 models (trainable on
+// CPU), but Table II's model sizes are properties of the *original* 224x224
+// ImageNet architectures.  This module describes real VGG16, MobileNetV2,
+// EfficientNet-B0 and EfficientNet-B7 layer-by-layer (parameters, MACs,
+// output shapes) under the paper's layer indexing, so the size/MAC
+// accounting reproduces the paper's absolute numbers:
+//   CNN column      = (total params - final prediction layer) * 4 bytes
+//   NSHD at cut L   = prefix params * 4B + manifold FC * 4B
+//                     + projection (D x F_hat, 1 bit each) + classes K*D*4B
+//   BaselineHD at L = prefix params * 4B + projection (D x F_raw bits)
+//                     + classes K*D*4B
+// (verified against Table II: VGG16 537.2/69.05/96.61MB etc.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nshd::hw {
+
+/// One paper-indexable unit of a full-scale model.
+struct ArchUnit {
+  std::string label;       // e.g. "conv3-256", "MBConv6 k5", "stage5"
+  std::int64_t params = 0; // trainable parameters (incl. BN affine)
+  std::int64_t macs = 0;   // multiply-accumulates at 224x224 input
+  std::int64_t out_c = 0, out_h = 0, out_w = 0;
+
+  std::int64_t feature_dim() const { return out_c * out_h * out_w; }
+};
+
+struct ArchModel {
+  std::string name;                 // display name ("VGG16", ...)
+  std::vector<ArchUnit> features;   // paper-indexed feature stack
+  std::vector<ArchUnit> head;       // classifier head (pre final FC)
+  std::int64_t final_fc_params = 0; // excluded from the paper's CNN size
+
+  std::int64_t feature_params() const;
+  std::int64_t total_params_excluding_final_fc() const;
+  std::int64_t total_macs() const;
+  std::int64_t prefix_params(std::size_t cut) const;
+  std::int64_t prefix_macs(std::size_t cut) const;
+  const ArchUnit& unit(std::size_t index) const { return features.at(index); }
+};
+
+ArchModel fullscale_vgg16();
+ArchModel fullscale_mobilenetv2();
+ArchModel fullscale_efficientnet_b0();
+ArchModel fullscale_efficientnet_b7();
+
+/// By zoo name ("vgg16s" -> full-scale VGG16, ...).
+ArchModel fullscale_for(const std::string& zoo_name);
+
+/// Window-2 maxpool output size used by the manifold layer.
+std::int64_t fullscale_pooled_features(const ArchUnit& unit);
+
+/// Size accounting (bytes) per the scheme above.
+struct SizeReport {
+  double cnn_bytes = 0.0;
+  double nshd_bytes = 0.0;
+  double baseline_bytes = 0.0;
+};
+SizeReport model_size_report(const ArchModel& arch, std::size_t cut,
+                             std::int64_t dim, std::int64_t f_hat,
+                             std::int64_t num_classes);
+
+}  // namespace nshd::hw

@@ -1,0 +1,48 @@
+#include "hw/gpu.hpp"
+
+#include <algorithm>
+
+namespace nshd::hw {
+
+double GpuModel::stage_seconds(double ops, double ops_per_s, double bytes) const {
+  const double compute_s = ops / (ops_per_s * config_.efficiency);
+  const double memory_s = bytes / config_.dram_bytes_per_s;
+  return std::max(compute_s, memory_s);
+}
+
+double GpuModel::cnn_latency_s(const CnnCensus& census, std::size_t layer_count) const {
+  // FP16 deployment: two bytes per weight streamed per inference.
+  const double conv_s = stage_seconds(static_cast<double>(census.macs),
+                                      config_.fp16_macs_per_s,
+                                      static_cast<double>(census.params) * 2.0);
+  return conv_s + static_cast<double>(layer_count) * config_.kernel_launch_s;
+}
+
+double GpuModel::nshd_latency_s(const NshdCensus& census,
+                                std::size_t prefix_layers) const {
+  const double prefix_s = stage_seconds(static_cast<double>(census.prefix_macs),
+                                        config_.fp16_macs_per_s,
+                                        static_cast<double>(census.prefix_params) * 2.0);
+  const double manifold_s = stage_seconds(static_cast<double>(census.manifold_macs),
+                                          config_.int8_macs_per_s,
+                                          static_cast<double>(census.manifold_params));
+  // Projection rows live in constant memory (Sec. VI-A): bit-packed weights,
+  // float class bank.
+  const double hd_ops =
+      static_cast<double>(census.encode_macs + census.similarity_macs);
+  const double hd_bytes = static_cast<double>(census.projection_bits) / 8.0 +
+                          static_cast<double>(census.class_params) * 2.0;
+  const double hd_s = stage_seconds(hd_ops, config_.binary_ops_per_s, hd_bytes);
+  return prefix_s + manifold_s + hd_s +
+         static_cast<double>(prefix_layers + 3) * config_.kernel_launch_s;
+}
+
+double GpuModel::time_reduction(const CnnCensus& cnn, std::size_t cnn_layers,
+                                const NshdCensus& nshd,
+                                std::size_t prefix_layers) const {
+  const double t_cnn = cnn_latency_s(cnn, cnn_layers);
+  if (t_cnn <= 0.0) return 0.0;
+  return (t_cnn - nshd_latency_s(nshd, prefix_layers)) / t_cnn;
+}
+
+}  // namespace nshd::hw

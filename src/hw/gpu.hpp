@@ -1,0 +1,46 @@
+// Embedded-GPU (Xavier-class) latency/throughput model.
+//
+// The abstract quotes NSHD's headline as "up to 64% of the execution time
+// reduction" on the NVIDIA Xavier; this module models inference latency the
+// same way FpgaModel models the DPU: per-stage roofline between compute
+// throughput and DRAM bandwidth, plus a per-layer kernel-launch overhead.
+// CNN layers run FP16 on tensor cores; the manifold FC runs INT8 (TensorRT);
+// HD stages run as binary add/sub kernels bounded by integer-op throughput.
+#pragma once
+
+#include "hw/census.hpp"
+
+namespace nshd::hw {
+
+struct GpuModelConfig {
+  double fp16_macs_per_s = 11e12;   // Xavier tensor-core class peak (~22 TOPS/2)
+  double int8_macs_per_s = 22e12;   // INT8 path
+  double binary_ops_per_s = 40e12;  // add/sub on packed operands
+  double dram_bytes_per_s = 100e9;  // ~137 GB/s peak, ~70% achievable
+  double kernel_launch_s = 8e-6;    // per layer/stage dispatch overhead
+  double efficiency = 0.35;         // achieved fraction of peak on small batches
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuModelConfig& config = {}) : config_(config) {}
+
+  /// Seconds for one full-CNN inference (batch 1).
+  double cnn_latency_s(const CnnCensus& census, std::size_t layer_count) const;
+
+  /// Seconds for one NSHD inference: prefix + manifold + encode/similarity.
+  double nshd_latency_s(const NshdCensus& census, std::size_t prefix_layers) const;
+
+  /// Execution-time reduction of NSHD vs the CNN (the abstract's headline
+  /// metric): (t_cnn - t_nshd) / t_cnn.
+  double time_reduction(const CnnCensus& cnn, std::size_t cnn_layers,
+                        const NshdCensus& nshd, std::size_t prefix_layers) const;
+
+  const GpuModelConfig& config() const { return config_; }
+
+ private:
+  double stage_seconds(double ops, double ops_per_s, double bytes) const;
+  GpuModelConfig config_;
+};
+
+}  // namespace nshd::hw

@@ -1,0 +1,54 @@
+#include "models/pretrained.hpp"
+
+#include <algorithm>
+
+#include "nn/serialize.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace nshd::models {
+
+std::string pretrain_cache_key(const std::string& name,
+                               const PretrainOptions& options,
+                               std::int64_t num_classes) {
+  std::string key = "pretrained|" + name + "|k=" + std::to_string(num_classes) +
+                    "|seed=" + std::to_string(options.model_seed) +
+                    "|ep=" + std::to_string(options.train.epochs) +
+                    "|bs=" + std::to_string(options.train.batch_size) +
+                    "|lr=" + std::to_string(options.train.learning_rate) +
+                    "|" + options.dataset_key;
+  return key;
+}
+
+ZooModel pretrained_model(const std::string& name, const data::Dataset& train_set,
+                          const PretrainOptions& options,
+                          const util::DiskCache& cache) {
+  ZooModel model = make_model(name, train_set.num_classes, options.model_seed);
+  // Topologies without batch norm (plain VGG) need a gentler step than the
+  // shared default; the effective rate is part of the cache fingerprint.
+  PretrainOptions effective = options;
+  effective.train.learning_rate =
+      std::min(options.train.learning_rate, model.suggested_learning_rate);
+  const std::string key =
+      pretrain_cache_key(name, effective, train_set.num_classes);
+
+  if (auto blob = cache.get(key)) {
+    if (nn::load_state(model.net, *blob)) {
+      NSHD_LOG_INFO("%s: loaded pretrained weights from cache", name.c_str());
+      return model;
+    }
+    NSHD_LOG_WARN("%s: cached weights rejected (layout mismatch); retraining",
+                  name.c_str());
+  }
+
+  NSHD_LOG_INFO("%s: pretraining on %lld samples (%lld classes)...",
+                name.c_str(), static_cast<long long>(train_set.size()),
+                static_cast<long long>(train_set.num_classes));
+  util::Stopwatch watch;
+  nn::train_classifier(model.net, train_set, effective.train);
+  NSHD_LOG_INFO("%s: pretraining done in %.1fs", name.c_str(), watch.seconds());
+  cache.put(key, nn::save_state(model.net));
+  return model;
+}
+
+}  // namespace nshd::models

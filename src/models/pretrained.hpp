@@ -1,0 +1,37 @@
+// "Pretrained" model provisioning.
+//
+// The paper downloads ImageNet-pretrained CNNs; this repo trains each zoo
+// model on the synthetic dataset once and memoizes the weights on disk, so
+// every bench/example after the first run starts from frozen teachers just
+// like the paper does.
+#pragma once
+
+#include <string>
+
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "util/cache.hpp"
+
+namespace nshd::models {
+
+struct PretrainOptions {
+  nn::TrainConfig train;
+  /// Dataset fingerprint folded into the cache key (use
+  /// SynthCifarConfig::cache_key).
+  std::string dataset_key;
+  std::uint64_t model_seed = 11;
+};
+
+/// Returns `name` trained on `train_set`: loads cached weights when the
+/// (model, dataset, config) fingerprint matches, otherwise trains and caches.
+ZooModel pretrained_model(const std::string& name, const data::Dataset& train_set,
+                          const PretrainOptions& options,
+                          const util::DiskCache& cache);
+
+/// Cache key used by pretrained_model (exposed for cache management tools).
+std::string pretrain_cache_key(const std::string& name,
+                               const PretrainOptions& options,
+                               std::int64_t num_classes);
+
+}  // namespace nshd::models

@@ -1,0 +1,277 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/blocks.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+
+namespace nshd::models {
+
+using nn::Activation;
+using nn::ActivationLayer;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::MBConvBlock;
+using nn::MBConvConfig;
+using nn::Sequential;
+
+std::int64_t ZooModel::feature_dim_at(std::size_t cut) const {
+  const tensor::Shape s = feature_shape_at(cut);
+  return s.numel();
+}
+
+tensor::Shape ZooModel::feature_shape_at(std::size_t cut) const {
+  const tensor::Shape in{1, input_chw[0], input_chw[1], input_chw[2]};
+  const tensor::Shape out = net.output_shape_at(in, cut);
+  return tensor::Shape{out[1], out.rank() > 2 ? out[2] : 1,
+                       out.rank() > 3 ? out[3] : 1};
+}
+
+namespace {
+
+/// Adds a Conv-BN-Activation triple as three separate indexable layers is
+/// NOT what torchvision VGG does (VGG has no BN in the classic config the
+/// paper indexes); VGG entries are Conv, ReLU, and MaxPool only.
+void add_vgg_conv(Sequential& net, std::int64_t in_c, std::int64_t out_c,
+                  util::Rng& rng) {
+  net.emplace<Conv2d>(in_c, out_c, 3, 1, 1, /*bias=*/true, rng);
+  net.emplace<ActivationLayer>(Activation::kReLU);
+}
+
+/// One composite EfficientNet stage: `repeats` MBConv blocks, the first one
+/// carrying the stride / channel change.
+nn::LayerPtr make_stage(std::int64_t in_c, std::int64_t out_c,
+                        std::int64_t expand, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t repeats, bool use_se,
+                        Activation act, util::Rng& rng) {
+  auto stage = std::make_unique<Sequential>();
+  for (std::int64_t r = 0; r < repeats; ++r) {
+    MBConvConfig cfg;
+    cfg.in_channels = r == 0 ? in_c : out_c;
+    cfg.out_channels = out_c;
+    cfg.expand_ratio = expand;
+    cfg.kernel = kernel;
+    cfg.stride = r == 0 ? stride : 1;
+    cfg.use_se = use_se;
+    cfg.activation = act;
+    stage->emplace<MBConvBlock>(cfg, rng);
+  }
+  return stage;
+}
+
+/// Conv + BN + activation as one composite (indexable) unit.
+nn::LayerPtr make_conv_bn_act(std::int64_t in_c, std::int64_t out_c,
+                              std::int64_t kernel, std::int64_t stride,
+                              Activation act, util::Rng& rng) {
+  auto unit = std::make_unique<Sequential>();
+  unit->emplace<Conv2d>(in_c, out_c, kernel, stride, kernel / 2, /*bias=*/false, rng);
+  unit->emplace<BatchNorm2d>(out_c);
+  unit->emplace<ActivationLayer>(act);
+  return unit;
+}
+
+}  // namespace
+
+ZooModel make_vgg16s(std::int64_t num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ZooModel m;
+  m.name = "vgg16s";
+  m.num_classes = num_classes;
+
+  // torchvision VGG16 `features` indexing (0..30), width-scaled by ~1/4:
+  //   block1: conv(0) relu(1) conv(2) relu(3) pool(4)
+  //   block2: conv(5) relu(6) conv(7) relu(8) pool(9)
+  //   block3: conv(10) relu(11) conv(12) relu(13) conv(14) relu(15) pool(16)
+  //   block4: conv(17) relu(18) conv(19) relu(20) conv(21) relu(22) pool(23)
+  //   block5: conv(24) relu(25) conv(26) relu(27) conv(28) relu(29) pool(30)
+  const std::int64_t w1 = 16, w2 = 32, w3 = 64, w4 = 96, w5 = 128;
+  Sequential& net = m.net;
+  add_vgg_conv(net, 3, w1, rng);
+  add_vgg_conv(net, w1, w1, rng);
+  net.emplace<MaxPool2d>(2, 2);  // index 4, 32 -> 16
+  add_vgg_conv(net, w1, w2, rng);
+  add_vgg_conv(net, w2, w2, rng);
+  net.emplace<MaxPool2d>(2, 2);  // index 9, 16 -> 8
+  add_vgg_conv(net, w2, w3, rng);
+  add_vgg_conv(net, w3, w3, rng);
+  add_vgg_conv(net, w3, w3, rng);
+  net.emplace<MaxPool2d>(2, 2);  // index 16, 8 -> 4
+  add_vgg_conv(net, w3, w4, rng);
+  add_vgg_conv(net, w4, w4, rng);
+  add_vgg_conv(net, w4, w4, rng);
+  net.emplace<MaxPool2d>(2, 2);  // index 23, 4 -> 2
+  add_vgg_conv(net, w4, w5, rng);
+  add_vgg_conv(net, w5, w5, rng);
+  add_vgg_conv(net, w5, w5, rng);
+  net.emplace<MaxPool2d>(2, 2);  // index 30, 2 -> 1
+  m.feature_count = net.size();  // 31
+
+  // Classifier head (scaled version of VGG's 3 FC layers).
+  net.emplace<Flatten>();
+  net.emplace<Linear>(w5, 128, rng);
+  net.emplace<ActivationLayer>(Activation::kReLU);
+  net.emplace<Linear>(128, num_classes, rng);
+
+  m.paper_cut_layers = {27, 29};
+  m.energy_cut_layers = {27, 29};
+  m.suggested_learning_rate = 0.01f;
+  return m;
+}
+
+ZooModel make_mobilenetv2s(std::int64_t num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ZooModel m;
+  m.name = "mobilenetv2s";
+  m.num_classes = num_classes;
+
+  // torchvision MobileNetV2 `features` indexing (0..18), width ~x0.5 and
+  // strides adapted to 32x32 input (stem stride 1).
+  Sequential& net = m.net;
+  const Activation act = Activation::kReLU6;
+  net.add(make_conv_bn_act(3, 16, 3, 1, act, rng));  // 0: stem, 32x32
+
+  auto ir = [&](std::int64_t in_c, std::int64_t out_c, std::int64_t expand,
+                std::int64_t stride) {
+    MBConvConfig cfg;
+    cfg.in_channels = in_c;
+    cfg.out_channels = out_c;
+    cfg.expand_ratio = expand;
+    cfg.kernel = 3;
+    cfg.stride = stride;
+    cfg.use_se = false;
+    cfg.activation = act;
+    net.emplace<MBConvBlock>(cfg, rng);
+  };
+
+  ir(16, 8, 1, 1);    // 1
+  ir(8, 12, 6, 2);    // 2: 32 -> 16
+  ir(12, 12, 6, 1);   // 3
+  ir(12, 16, 6, 2);   // 4: 16 -> 8
+  ir(16, 16, 6, 1);   // 5
+  ir(16, 16, 6, 1);   // 6
+  ir(16, 32, 6, 2);   // 7: 8 -> 4
+  ir(32, 32, 6, 1);   // 8
+  ir(32, 32, 6, 1);   // 9
+  ir(32, 32, 6, 1);   // 10
+  ir(32, 48, 6, 1);   // 11
+  ir(48, 48, 6, 1);   // 12
+  ir(48, 48, 6, 1);   // 13
+  ir(48, 80, 6, 2);   // 14: 4 -> 2
+  ir(80, 80, 6, 1);   // 15
+  ir(80, 80, 6, 1);   // 16
+  ir(80, 160, 6, 1);  // 17
+  net.add(make_conv_bn_act(160, 320, 1, 1, act, rng));  // 18: last conv
+  m.feature_count = net.size();  // 19
+
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(320, num_classes, rng);
+
+  m.paper_cut_layers = {14, 17};
+  m.energy_cut_layers = {14, 17};
+  return m;
+}
+
+namespace {
+
+struct EfficientStage {
+  std::int64_t out_c, expand, kernel, stride, repeats;
+};
+
+ZooModel make_efficientnet(const std::string& name, std::int64_t stem_c,
+                           const std::vector<EfficientStage>& stages,
+                           std::int64_t head_c, std::int64_t num_classes,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  ZooModel m;
+  m.name = name;
+  m.num_classes = num_classes;
+
+  const Activation act = Activation::kSiLU;
+  Sequential& net = m.net;
+  net.add(make_conv_bn_act(3, stem_c, 3, 1, act, rng));  // block 0: stem
+
+  std::int64_t in_c = stem_c;
+  for (const EfficientStage& st : stages) {
+    net.add(make_stage(in_c, st.out_c, st.expand, st.kernel, st.stride,
+                       st.repeats, /*use_se=*/true, act, rng));
+    in_c = st.out_c;
+  }
+  net.add(make_conv_bn_act(in_c, head_c, 1, 1, act, rng));  // block 8: head conv
+  m.feature_count = net.size();  // 9
+
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(head_c, num_classes, rng);
+  return m;
+}
+
+}  // namespace
+
+ZooModel make_efficientnet_b0s(std::int64_t num_classes, std::uint64_t seed) {
+  // Stage layout mirrors EfficientNet-B0 (7 MBConv stages), width ~x0.5,
+  // repeats trimmed, strides adapted to 32x32 (downsample at stages 2/3/4/6).
+  const std::vector<EfficientStage> stages = {
+      {8, 1, 3, 1, 1},    // 1: MBConv1 k3
+      {12, 6, 3, 2, 2},   // 2: 32 -> 16
+      {20, 6, 5, 2, 2},   // 3: 16 -> 8
+      {40, 6, 3, 2, 2},   // 4: 8 -> 4
+      {56, 6, 5, 1, 2},   // 5
+      {96, 6, 5, 2, 2},   // 6: 4 -> 2
+      {160, 6, 3, 1, 1},  // 7
+  };
+  ZooModel m = make_efficientnet("efficientnet_b0s", 16, stages, 320,
+                                 num_classes, seed);
+  m.paper_cut_layers = {5, 6, 7, 8};
+  m.energy_cut_layers = {6, 7};
+  return m;
+}
+
+ZooModel make_efficientnet_b7s(std::int64_t num_classes, std::uint64_t seed) {
+  // B7-style compound scaling relative to B0s: wider (~x1.7) and deeper.
+  const std::vector<EfficientStage> stages = {
+      {12, 1, 3, 1, 2},   // 1
+      {18, 6, 3, 2, 3},   // 2: 32 -> 16
+      {30, 6, 5, 2, 3},   // 3: 16 -> 8
+      {56, 6, 3, 2, 4},   // 4: 8 -> 4
+      {80, 6, 5, 1, 4},   // 5
+      {136, 6, 5, 2, 4},  // 6: 4 -> 2
+      {224, 6, 3, 1, 2},  // 7
+  };
+  ZooModel m = make_efficientnet("efficientnet_b7s", 24, stages, 448,
+                                 num_classes, seed);
+  m.paper_cut_layers = {6, 7, 8};
+  m.energy_cut_layers = {6, 7};
+  return m;
+}
+
+ZooModel make_model(const std::string& name, std::int64_t num_classes,
+                    std::uint64_t seed) {
+  if (name == "vgg16s") return make_vgg16s(num_classes, seed);
+  if (name == "mobilenetv2s") return make_mobilenetv2s(num_classes, seed);
+  if (name == "efficientnet_b0s") return make_efficientnet_b0s(num_classes, seed);
+  if (name == "efficientnet_b7s") return make_efficientnet_b7s(num_classes, seed);
+  throw std::invalid_argument("unknown zoo model: " + name);
+}
+
+std::vector<std::string> zoo_model_names() {
+  return {"mobilenetv2s", "efficientnet_b0s", "efficientnet_b7s", "vgg16s"};
+}
+
+std::string display_name(const std::string& zoo_name) {
+  if (zoo_name == "vgg16s") return "VGG16";
+  if (zoo_name == "mobilenetv2s") return "Mobilenetv2";
+  if (zoo_name == "efficientnet_b0s") return "Efficientnetb0";
+  if (zoo_name == "efficientnet_b7s") return "Efficientnetb7";
+  return zoo_name;
+}
+
+}  // namespace nshd::models

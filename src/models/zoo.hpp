@@ -1,0 +1,67 @@
+// CNN model zoo with paper-style layer indexing.
+//
+// The paper labels cut points by the feature-stack index of each backbone:
+// VGG16 by conv/activation/pool entries (torchvision `features` 0..30),
+// MobileNetV2 by operators (0..18), EfficientNet by blocks (0..8).  The zoo
+// reproduces those exact index spaces on width-scaled, 32x32-input variants
+// (the "s" suffix) so that every layer number in the paper's tables and
+// figures maps one-to-one onto a cut point here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::models {
+
+/// A zoo entry: a full network whose first `feature_count` top-level layers
+/// form the paper's indexable feature stack, followed by the classifier head.
+struct ZooModel {
+  std::string name;
+  nn::Sequential net;
+  /// Number of top-level layers that belong to the indexable feature stack;
+  /// valid cut indices are [0, feature_count-1].
+  std::size_t feature_count = 0;
+  /// The cut indices the paper evaluates for this backbone (Fig. 4/7,
+  /// Table II).
+  std::vector<std::size_t> paper_cut_layers;
+  /// The subset of paper_cut_layers used in the energy study (Fig. 4) —
+  /// chosen in the paper such that accuracy loss stays under 10%.
+  std::vector<std::size_t> energy_cut_layers;
+  tensor::Shape input_chw{3, 32, 32};
+  std::int64_t num_classes = 10;
+  /// Pretraining learning rate that works for this topology (plain VGG has
+  /// no batch norm and diverges at the BN-friendly default).
+  float suggested_learning_rate = 0.05f;
+
+  /// Flattened feature size when cut after layer `cut`.
+  std::int64_t feature_dim_at(std::size_t cut) const;
+  /// Shape [1, C, H, W] of the activation after layer `cut`.
+  tensor::Shape feature_shape_at(std::size_t cut) const;
+};
+
+/// Scaled VGG16 (torchvision features indexing 0..30, feature_count 31).
+ZooModel make_vgg16s(std::int64_t num_classes, std::uint64_t seed);
+/// Scaled MobileNetV2 (operator indexing 0..18, feature_count 19).
+ZooModel make_mobilenetv2s(std::int64_t num_classes, std::uint64_t seed);
+/// Scaled EfficientNet-B0 (block indexing 0..8, feature_count 9).
+ZooModel make_efficientnet_b0s(std::int64_t num_classes, std::uint64_t seed);
+/// Scaled EfficientNet-B7 (block indexing 0..8, feature_count 9; deeper and
+/// wider than B0s).
+ZooModel make_efficientnet_b7s(std::int64_t num_classes, std::uint64_t seed);
+
+/// Factory by name: "vgg16s", "mobilenetv2s", "efficientnet_b0s",
+/// "efficientnet_b7s".  Throws std::invalid_argument for unknown names.
+ZooModel make_model(const std::string& name, std::int64_t num_classes,
+                    std::uint64_t seed);
+
+/// All registered names, in the paper's presentation order.
+std::vector<std::string> zoo_model_names();
+
+/// Human-readable display name ("VGG16", "Efficientnetb0", ...) matching the
+/// paper's tables.
+std::string display_name(const std::string& zoo_name);
+
+}  // namespace nshd::models

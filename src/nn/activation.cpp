@@ -1,0 +1,65 @@
+#include "nn/activation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nshd::nn {
+
+const char* to_string(Activation act) {
+  switch (act) {
+    case Activation::kReLU: return "ReLU";
+    case Activation::kReLU6: return "ReLU6";
+    case Activation::kSiLU: return "SiLU";
+    case Activation::kSigmoid: return "Sigmoid";
+  }
+  return "?";
+}
+
+float activate(Activation act, float x) {
+  switch (act) {
+    case Activation::kReLU: return x > 0.0f ? x : 0.0f;
+    case Activation::kReLU6: return x < 0.0f ? 0.0f : (x > 6.0f ? 6.0f : x);
+    case Activation::kSiLU: return x / (1.0f + std::exp(-x));
+    case Activation::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+  }
+  return 0.0f;
+}
+
+float activate_grad(Activation act, float x) {
+  switch (act) {
+    case Activation::kReLU: return x > 0.0f ? 1.0f : 0.0f;
+    case Activation::kReLU6: return (x > 0.0f && x < 6.0f) ? 1.0f : 0.0f;
+    case Activation::kSiLU: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f + x * (1.0f - s));
+    }
+    case Activation::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+  }
+  return 0.0f;
+}
+
+Tensor ActivationLayer::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor output(input.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = activate(act_, in[i]);
+  return output;
+}
+
+Tensor ActivationLayer::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty());
+  Tensor grad_input(grad_output.shape());
+  const float* gout = grad_output.data();
+  const float* in = cached_input_.data();
+  float* gin = grad_input.data();
+  const std::int64_t n = grad_output.numel();
+  for (std::int64_t i = 0; i < n; ++i) gin[i] = gout[i] * activate_grad(act_, in[i]);
+  return grad_input;
+}
+
+}  // namespace nshd::nn

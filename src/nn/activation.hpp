@@ -1,0 +1,34 @@
+// Activation layers: ReLU (VGG), ReLU6 (MobileNetV2), SiLU/swish
+// (EfficientNet) and Sigmoid (squeeze-excitation gate).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace nshd::nn {
+
+enum class Activation { kReLU, kReLU6, kSiLU, kSigmoid };
+
+const char* to_string(Activation act);
+
+class ActivationLayer final : public Layer {
+ public:
+  explicit ActivationLayer(Activation act) : act_(act) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerKind kind() const override { return LayerKind::kActivation; }
+  std::string name() const override { return to_string(act_); }
+
+  Activation activation() const { return act_; }
+
+ private:
+  Activation act_;
+  Tensor cached_input_;
+};
+
+/// Scalar activation evaluations, shared with SE-block internals.
+float activate(Activation act, float x);
+float activate_grad(Activation act, float x);
+
+}  // namespace nshd::nn

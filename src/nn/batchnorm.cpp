@@ -1,0 +1,110 @@
+#include "nn/batchnorm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nshd::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Shape{channels}, "bn.gamma"),
+      beta_(Shape{channels}, "bn.beta"),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}) {
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  const std::int64_t plane_count = batch * hw;
+
+  Tensor output(input.shape());
+  if (training) {
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor(Shape{channels_});
+  }
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean_c, var_c;
+    if (training) {
+      double sum = 0.0, sq_sum = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* plane = input.data() + (n * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sum += plane[i];
+          sq_sum += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      mean_c = static_cast<float>(sum / plane_count);
+      var_c = static_cast<float>(sq_sum / plane_count - mean_c * static_cast<double>(mean_c));
+      if (var_c < 0.0f) var_c = 0.0f;
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] + momentum_ * mean_c;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var_c;
+    } else {
+      mean_c = running_mean_[c];
+      var_c = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var_c + epsilon_);
+    if (training) cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* in_plane = input.data() + (n * channels_ + c) * hw;
+      float* out_plane = output.data() + (n * channels_ + c) * hw;
+      float* norm_plane = training
+          ? cached_normalized_.data() + (n * channels_ + c) * hw
+          : nullptr;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float x_hat = (in_plane[i] - mean_c) * inv_std;
+        if (norm_plane != nullptr) norm_plane[i] = x_hat;
+        out_plane[i] = g * x_hat + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  assert(!cached_normalized_.empty() && "backward before forward(training=true)");
+  const std::int64_t batch = grad_output.shape()[0];
+  const std::int64_t hw = grad_output.shape()[2] * grad_output.shape()[3];
+  const auto m = static_cast<float>(batch * hw);
+
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dgamma, dbeta and the two reduction terms of the BN
+    // gradient: dx = (g*inv_std/m) * (m*dy - sum(dy) - x_hat*sum(dy*x_hat)).
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = cached_normalized_.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const float scale = gamma_.value[c] * cached_inv_std_[c] / m;
+    const auto sdy = static_cast<float>(sum_dy);
+    const auto sdyx = static_cast<float>(sum_dy_xhat);
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = cached_normalized_.data() + (n * channels_ + c) * hw;
+      float* dx = grad_input.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dx[i] = scale * (m * dy[i] - sdy - xh[i] * sdyx);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+}  // namespace nshd::nn

@@ -1,0 +1,44 @@
+// Batch normalization over the channel axis of NCHW activations.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace nshd::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerKind kind() const override { return LayerKind::kBatchNorm; }
+  std::string name() const override {
+    return "BatchNorm2d(" + std::to_string(channels_) + ")";
+  }
+
+  std::int64_t channels() const { return channels_; }
+  /// Running statistics, exposed for serialization.
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  void append_state(std::vector<Tensor*>& state) override {
+    state.push_back(&gamma_.value);
+    state.push_back(&beta_.value);
+    state.push_back(&running_mean_);
+    state.push_back(&running_var_);
+  }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, epsilon_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Cached state for backward.
+  Tensor cached_normalized_;   // x_hat
+  Tensor cached_inv_std_;      // per-channel 1/sqrt(var+eps)
+};
+
+}  // namespace nshd::nn

@@ -1,0 +1,212 @@
+#include "nn/blocks.hpp"
+
+#include <cassert>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace nshd::nn {
+
+SqueezeExcite::SqueezeExcite(std::int64_t channels, std::int64_t reduced,
+                             Activation act, util::Rng& rng)
+    : channels_(channels),
+      reduced_(reduced),
+      act_(act),
+      w1_(Shape{reduced, channels}, "se.w1"),
+      b1_(Shape{reduced}, "se.b1"),
+      w2_(Shape{channels, reduced}, "se.w2"),
+      b2_(Shape{channels}, "se.b2") {
+  kaiming_normal(w1_.value, channels, rng);
+  kaiming_normal(w2_.value, reduced, rng);
+}
+
+Tensor SqueezeExcite::forward(const Tensor& input, bool training) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+
+  Tensor pooled(Shape{batch, channels_});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane = input.data() + (n * channels_ + c) * hw;
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) sum += plane[i];
+      pooled.at(n, c) = static_cast<float>(sum / hw);
+    }
+  }
+
+  Tensor hidden(Shape{batch, reduced_});
+  tensor::gemm_bt(pooled.data(), w1_.value.data(), hidden.data(), batch,
+                  channels_, reduced_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t r = 0; r < reduced_; ++r) hidden.at(n, r) += b1_.value[r];
+
+  Tensor hidden_act(Shape{batch, reduced_});
+  for (std::int64_t i = 0; i < hidden.numel(); ++i)
+    hidden_act[i] = activate(act_, hidden[i]);
+
+  Tensor gate_pre(Shape{batch, channels_});
+  tensor::gemm_bt(hidden_act.data(), w2_.value.data(), gate_pre.data(), batch,
+                  reduced_, channels_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t c = 0; c < channels_; ++c) gate_pre.at(n, c) += b2_.value[c];
+
+  Tensor gate(Shape{batch, channels_});
+  for (std::int64_t i = 0; i < gate.numel(); ++i)
+    gate[i] = activate(Activation::kSigmoid, gate_pre[i]);
+
+  Tensor output(input.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float s = gate.at(n, c);
+      const float* in_plane = input.data() + (n * channels_ + c) * hw;
+      float* out_plane = output.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) out_plane[i] = in_plane[i] * s;
+    }
+  }
+
+  if (training) {
+    cached_input_ = input;
+    cached_pooled_ = std::move(pooled);
+    cached_hidden_ = std::move(hidden);
+    cached_gate_pre_ = std::move(gate_pre);
+    cached_gate_ = std::move(gate);
+  }
+  return output;
+}
+
+Tensor SqueezeExcite::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty());
+  const Tensor& input = cached_input_;
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+
+  // y[n,c,i] = x[n,c,i] * s[n,c].
+  // dL/dx gets the direct term here; the gate path adds more below.
+  Tensor grad_input(input.shape());
+  Tensor grad_gate(Shape{batch, channels_});  // dL/ds
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float s = cached_gate_.at(n, c);
+      const float* gout = grad_output.data() + (n * channels_ + c) * hw;
+      const float* in_plane = input.data() + (n * channels_ + c) * hw;
+      float* gin = grad_input.data() + (n * channels_ + c) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        gin[i] = gout[i] * s;
+        acc += static_cast<double>(gout[i]) * in_plane[i];
+      }
+      grad_gate.at(n, c) = static_cast<float>(acc);
+    }
+  }
+
+  // Through the sigmoid.
+  Tensor grad_gate_pre(Shape{batch, channels_});
+  for (std::int64_t i = 0; i < grad_gate.numel(); ++i)
+    grad_gate_pre[i] = grad_gate[i] * activate_grad(Activation::kSigmoid, cached_gate_pre_[i]);
+
+  // Expand FC: gate_pre = hidden_act * W2^T + b2.
+  Tensor hidden_act(Shape{batch, reduced_});
+  for (std::int64_t i = 0; i < hidden_act.numel(); ++i)
+    hidden_act[i] = activate(act_, cached_hidden_[i]);
+  tensor::gemm_at(grad_gate_pre.data(), hidden_act.data(), w2_.grad.data(),
+                  channels_, batch, reduced_, /*accumulate=*/true);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t c = 0; c < channels_; ++c) b2_.grad[c] += grad_gate_pre.at(n, c);
+
+  Tensor grad_hidden_act(Shape{batch, reduced_});
+  tensor::gemm(grad_gate_pre.data(), w2_.value.data(), grad_hidden_act.data(),
+               batch, channels_, reduced_);
+
+  // Through the mid activation.
+  Tensor grad_hidden(Shape{batch, reduced_});
+  for (std::int64_t i = 0; i < grad_hidden.numel(); ++i)
+    grad_hidden[i] = grad_hidden_act[i] * activate_grad(act_, cached_hidden_[i]);
+
+  // Reduce FC: hidden = pooled * W1^T + b1.
+  tensor::gemm_at(grad_hidden.data(), cached_pooled_.data(), w1_.grad.data(),
+                  reduced_, batch, channels_, /*accumulate=*/true);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t r = 0; r < reduced_; ++r) b1_.grad[r] += grad_hidden.at(n, r);
+
+  Tensor grad_pooled(Shape{batch, channels_});
+  tensor::gemm(grad_hidden.data(), w1_.value.data(), grad_pooled.data(), batch,
+               reduced_, channels_);
+
+  // Pool adjoint: broadcast back over HW.
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float g = grad_pooled.at(n, c) * inv;
+      float* gin = grad_input.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) gin[i] += g;
+    }
+  }
+  return grad_input;
+}
+
+std::int64_t SqueezeExcite::macs_per_sample(const Shape& input_chw) const {
+  (void)input_chw;
+  // Two small FCs plus the channel-wise scale.
+  const std::int64_t hw = input_chw.rank() == 3 ? input_chw[1] * input_chw[2] : 1;
+  return channels_ * reduced_ * 2 + channels_ * hw;
+}
+
+MBConvBlock::MBConvBlock(const MBConvConfig& config, util::Rng& rng)
+    : config_(config),
+      residual_(config.stride == 1 && config.in_channels == config.out_channels) {
+  const std::int64_t expanded = config.in_channels * config.expand_ratio;
+  if (config.expand_ratio != 1) {
+    body_.emplace<Conv2d>(config.in_channels, expanded, 1, 1, 0, /*bias=*/false, rng);
+    body_.emplace<BatchNorm2d>(expanded);
+    body_.emplace<ActivationLayer>(config.activation);
+  }
+  body_.emplace<DepthwiseConv2d>(expanded, config.kernel, config.stride,
+                                 config.kernel / 2, rng);
+  body_.emplace<BatchNorm2d>(expanded);
+  body_.emplace<ActivationLayer>(config.activation);
+  if (config.use_se) {
+    const std::int64_t reduced =
+        std::max<std::int64_t>(1, expanded / config.se_reduction);
+    body_.emplace<SqueezeExcite>(expanded, reduced, config.activation, rng);
+  }
+  body_.emplace<Conv2d>(expanded, config.out_channels, 1, 1, 0, /*bias=*/false, rng);
+  body_.emplace<BatchNorm2d>(config.out_channels);
+}
+
+Tensor MBConvBlock::forward(const Tensor& input, bool training) {
+  Tensor out = body_.forward(input, training);
+  if (residual_) {
+    assert(out.shape() == input.shape());
+    float* po = out.data();
+    const float* pi = input.data();
+    for (std::int64_t i = 0; i < out.numel(); ++i) po[i] += pi[i];
+  }
+  return out;
+}
+
+Tensor MBConvBlock::backward(const Tensor& grad_output) {
+  Tensor grad_in = body_.backward(grad_output);
+  if (residual_) {
+    float* pg = grad_in.data();
+    const float* po = grad_output.data();
+    for (std::int64_t i = 0; i < grad_in.numel(); ++i) pg[i] += po[i];
+  }
+  return grad_in;
+}
+
+Shape MBConvBlock::output_shape(const Shape& input) const {
+  return body_.output_shape(input);
+}
+
+std::string MBConvBlock::name() const {
+  return std::string(config_.use_se ? "MBConv" : "InvertedResidual") + "(" +
+         std::to_string(config_.in_channels) + "->" +
+         std::to_string(config_.out_channels) +
+         ", e=" + std::to_string(config_.expand_ratio) +
+         ", s=" + std::to_string(config_.stride) + ")";
+}
+
+}  // namespace nshd::nn

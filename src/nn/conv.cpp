@@ -1,0 +1,230 @@
+#include "nn/conv.hpp"
+
+#include <cassert>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace nshd::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool bias, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}, "conv.weight"),
+      bias_(Shape{bias ? out_channels : 0}, "conv.bias") {
+  kaiming_normal(weight_.value, in_channels * kernel * kernel, rng);
+}
+
+tensor::ConvGeometry Conv2d::geometry(std::int64_t in_h, std::int64_t in_w) const {
+  return {.channels = in_channels_,
+          .in_h = in_h,
+          .in_w = in_w,
+          .kernel_h = kernel_,
+          .kernel_w = kernel_,
+          .stride = stride_,
+          .pad = pad_};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == in_channels_);
+  const std::int64_t batch = input.shape()[0];
+  const auto geom = geometry(input.shape()[2], input.shape()[3]);
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+  const std::int64_t col_rows = geom.col_rows(), col_cols = geom.col_cols();
+
+  if (training) cached_input_ = input;
+
+  Tensor output(Shape{batch, out_channels_, out_h, out_w});
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  const std::int64_t in_stride = in_channels_ * geom.in_h * geom.in_w;
+  const std::int64_t out_stride = out_channels_ * out_h * out_w;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    tensor::im2col(input.data() + n * in_stride, geom, col.data());
+    // out[n] = W[O, col_rows] * col[col_rows, col_cols]
+    tensor::gemm(weight_.value.data(), col.data(), output.data() + n * out_stride,
+                 out_channels_, col_rows, col_cols);
+    if (has_bias_) {
+      float* out_n = output.data() + n * out_stride;
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        const float b = bias_.value[o];
+        float* plane = out_n + o * out_h * out_w;
+        for (std::int64_t i = 0; i < out_h * out_w; ++i) plane[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty() && "backward before forward(training=true)");
+  const Tensor& input = cached_input_;
+  const std::int64_t batch = input.shape()[0];
+  const auto geom = geometry(input.shape()[2], input.shape()[3]);
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+  const std::int64_t col_rows = geom.col_rows(), col_cols = geom.col_cols();
+  assert(grad_output.shape() == Shape({batch, out_channels_, out_h, out_w}));
+
+  Tensor grad_input(input.shape());
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> col_grad(static_cast<std::size_t>(col_rows * col_cols));
+  const std::int64_t in_stride = in_channels_ * geom.in_h * geom.in_w;
+  const std::int64_t out_stride = out_channels_ * out_h * out_w;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* gout = grad_output.data() + n * out_stride;
+    // dW += gout[O, cols] * col[rows, cols]^T  -> use gemm_bt.
+    tensor::im2col(input.data() + n * in_stride, geom, col.data());
+    tensor::gemm_bt(gout, col.data(), weight_.grad.data(), out_channels_,
+                    col_cols, col_rows, /*accumulate=*/true);
+    if (has_bias_) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        const float* plane = gout + o * out_h * out_w;
+        float sum = 0.0f;
+        for (std::int64_t i = 0; i < out_h * out_w; ++i) sum += plane[i];
+        bias_.grad[o] += sum;
+      }
+    }
+    // dcol = W^T[rows, O] * gout[O, cols]
+    tensor::gemm_at(weight_.value.data(), gout, col_grad.data(), col_rows,
+                    out_channels_, col_cols);
+    tensor::col2im(col_grad.data(), geom, grad_input.data() + n * in_stride);
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  assert(input.rank() == 4);
+  return Shape{input[0], out_channels_,
+               tensor::conv_out_dim(input[2], kernel_, stride_, pad_),
+               tensor::conv_out_dim(input[3], kernel_, stride_, pad_)};
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ", k=" + std::to_string(kernel_) +
+         ", s=" + std::to_string(stride_) + ")";
+}
+
+std::int64_t Conv2d::macs_per_sample(const Shape& input_chw) const {
+  assert(input_chw.rank() == 3);
+  const std::int64_t out_h = tensor::conv_out_dim(input_chw[1], kernel_, stride_, pad_);
+  const std::int64_t out_w = tensor::conv_out_dim(input_chw[2], kernel_, stride_, pad_);
+  return out_channels_ * out_h * out_w * in_channels_ * kernel_ * kernel_;
+}
+
+DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                                 std::int64_t stride, std::int64_t pad,
+                                 util::Rng& rng)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{channels, kernel * kernel}, "dwconv.weight") {
+  kaiming_normal(weight_.value, kernel * kernel, rng);
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, bool training) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t in_h = input.shape()[2], in_w = input.shape()[3];
+  const std::int64_t out_h = tensor::conv_out_dim(in_h, kernel_, stride_, pad_);
+  const std::int64_t out_w = tensor::conv_out_dim(in_w, kernel_, stride_, pad_);
+
+  if (training) cached_input_ = input;
+
+  Tensor output(Shape{batch, channels_, out_h, out_w});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* in_plane = input.data() + (n * channels_ + c) * in_h * in_w;
+      const float* w = weight_.value.data() + c * kernel_ * kernel_;
+      float* out_plane = output.data() + (n * channels_ + c) * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          float sum = 0.0f;
+          for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+            const std::int64_t ih = oh * stride_ - pad_ + kh;
+            if (ih < 0 || ih >= in_h) continue;
+            for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+              const std::int64_t iw = ow * stride_ - pad_ + kw;
+              if (iw < 0 || iw >= in_w) continue;
+              sum += in_plane[ih * in_w + iw] * w[kh * kernel_ + kw];
+            }
+          }
+          out_plane[oh * out_w + ow] = sum;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty());
+  const Tensor& input = cached_input_;
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t in_h = input.shape()[2], in_w = input.shape()[3];
+  const std::int64_t out_h = grad_output.shape()[2], out_w = grad_output.shape()[3];
+
+  Tensor grad_input(input.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* in_plane = input.data() + (n * channels_ + c) * in_h * in_w;
+      const float* gout_plane = grad_output.data() + (n * channels_ + c) * out_h * out_w;
+      const float* w = weight_.value.data() + c * kernel_ * kernel_;
+      float* gw = weight_.grad.data() + c * kernel_ * kernel_;
+      float* gin_plane = grad_input.data() + (n * channels_ + c) * in_h * in_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          const float g = gout_plane[oh * out_w + ow];
+          if (g == 0.0f) continue;
+          for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+            const std::int64_t ih = oh * stride_ - pad_ + kh;
+            if (ih < 0 || ih >= in_h) continue;
+            for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+              const std::int64_t iw = ow * stride_ - pad_ + kw;
+              if (iw < 0 || iw >= in_w) continue;
+              gw[kh * kernel_ + kw] += g * in_plane[ih * in_w + iw];
+              gin_plane[ih * in_w + iw] += g * w[kh * kernel_ + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> DepthwiseConv2d::params() { return {&weight_}; }
+
+Shape DepthwiseConv2d::output_shape(const Shape& input) const {
+  assert(input.rank() == 4);
+  return Shape{input[0], channels_,
+               tensor::conv_out_dim(input[2], kernel_, stride_, pad_),
+               tensor::conv_out_dim(input[3], kernel_, stride_, pad_)};
+}
+
+std::string DepthwiseConv2d::name() const {
+  return "DepthwiseConv2d(" + std::to_string(channels_) +
+         ", k=" + std::to_string(kernel_) + ", s=" + std::to_string(stride_) + ")";
+}
+
+std::int64_t DepthwiseConv2d::macs_per_sample(const Shape& input_chw) const {
+  assert(input_chw.rank() == 3);
+  const std::int64_t out_h = tensor::conv_out_dim(input_chw[1], kernel_, stride_, pad_);
+  const std::int64_t out_w = tensor::conv_out_dim(input_chw[2], kernel_, stride_, pad_);
+  return channels_ * out_h * out_w * kernel_ * kernel_;
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,18 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace nshd::nn {
+
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& w : weight.span()) w = rng.normal(0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& weight, std::int64_t fan_in, std::int64_t fan_out,
+                    util::Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& w : weight.span()) w = rng.uniform(-a, a);
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,17 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::nn {
+
+/// Kaiming/He normal init: N(0, sqrt(2 / fan_in)); the right default for
+/// ReLU-family networks.
+void kaiming_normal(Tensor& weight, std::int64_t fan_in, util::Rng& rng);
+
+/// Xavier/Glorot uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& weight, std::int64_t fan_in, std::int64_t fan_out,
+                    util::Rng& rng);
+
+}  // namespace nshd::nn

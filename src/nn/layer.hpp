@@ -1,0 +1,98 @@
+// Layer abstraction for the from-scratch deep-learning substrate.
+//
+// The paper consumes PyTorch models; this reproduction implements the
+// minimum viable training framework instead: explicit forward/backward per
+// layer, mutable parameter slots with gradient buffers, and a Sequential
+// container that supports the paper's "cut at layer index k" operation
+// (Sec. IV-A) for building feature extractors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace nshd::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A trainable parameter: value plus an accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  explicit Param(Shape shape, std::string param_name = {})
+      : value(shape), grad(std::move(shape)), name(std::move(param_name)) {}
+};
+
+/// Structural kind of a layer; used by the hardware census (src/hw) to
+/// attribute MACs/bytes and by model indexing.
+enum class LayerKind {
+  kConv,
+  kDepthwiseConv,
+  kBatchNorm,
+  kActivation,
+  kMaxPool,
+  kAvgPool,
+  kLinear,
+  kFlatten,
+  kDropout,
+  kBlock,  // composite (inverted residual / MBConv / SE)
+};
+
+const char* to_string(LayerKind kind);
+
+/// Base class for all layers.  Layers own their parameters and cache
+/// whatever forward state their backward pass needs; backward must be called
+/// with the same batch that was last forwarded with training=true.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output.  `training` toggles batch-norm statistics
+  /// accumulation and dropout.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates the loss gradient; accumulates into param grads and returns
+  /// the gradient with respect to the input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Output shape for a given input shape (both include the batch axis).
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Multiply-accumulate count for a single sample with the given
+  /// (batch-less) input shape; default 0 for op-free layers.
+  virtual std::int64_t macs_per_sample(const Shape& input_chw) const {
+    (void)input_chw;
+    return 0;
+  }
+
+  /// Collects every tensor that must be persisted to reproduce inference:
+  /// parameter values plus non-trainable state (batch-norm running stats).
+  /// Containers recurse; the default implementation appends param values.
+  virtual void append_state(std::vector<Tensor*>& state) {
+    for (Param* p : params()) state.push_back(&p->value);
+  }
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  Layer(Layer&&) = default;
+  Layer& operator=(Layer&&) = default;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Zeroes gradients of all params in the list.
+void zero_grads(const std::vector<Param*>& params);
+
+}  // namespace nshd::nn

@@ -1,0 +1,100 @@
+#include "nn/linear.hpp"
+
+#include <cassert>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace nshd::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}, "linear.weight"),
+      bias_(Shape{out_features}, "linear.bias") {
+  kaiming_normal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  assert(input.shape().rank() == 2 && input.shape()[1] == in_features_);
+  const std::int64_t batch = input.shape()[0];
+  if (training) cached_input_ = input;
+
+  Tensor output(Shape{batch, out_features_});
+  // out[batch, out] = in[batch, in] * W[out, in]^T
+  tensor::gemm_bt(input.data(), weight_.value.data(), output.data(), batch,
+                  in_features_, out_features_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = output.data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+  }
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  assert(!cached_input_.empty());
+  const std::int64_t batch = cached_input_.shape()[0];
+
+  // dW[out, in] += gout[batch, out]^T * in[batch, in]
+  tensor::gemm_at(grad_output.data(), cached_input_.data(), weight_.grad.data(),
+                  out_features_, batch, in_features_, /*accumulate=*/true);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += row[o];
+  }
+  // dX[batch, in] = gout[batch, out] * W[out, in]
+  Tensor grad_input(Shape{batch, in_features_});
+  tensor::gemm(grad_output.data(), weight_.value.data(), grad_input.data(),
+               batch, out_features_, in_features_);
+  return grad_input;
+}
+
+Shape Linear::output_shape(const Shape& input) const {
+  assert(input.rank() == 2);
+  return Shape{input[0], out_features_};
+}
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (training) cached_input_shape_ = input.shape();
+  const std::int64_t batch = input.shape()[0];
+  return input.reshaped(Shape{batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  assert(cached_input_shape_.rank() > 0);
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  return Shape{input[0], input.numel() / input[0]};
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || probability_ <= 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  Tensor output(input.shape());
+  const float keep_scale = 1.0f / (1.0f - probability_);
+  const float* in = input.data();
+  float* m = mask_.data();
+  float* out = output.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    m[i] = rng_->bernoulli(probability_) ? 0.0f : keep_scale;
+    out[i] = in[i] * m[i];
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Tensor grad_input(grad_output.shape());
+  const float* gout = grad_output.data();
+  const float* m = mask_.data();
+  float* gin = grad_input.data();
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) gin[i] = gout[i] * m[i];
+  return grad_input;
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,71 @@
+// Fully-connected layer, plus Flatten and Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::nn {
+
+/// y = W x + b with W of shape [out_features, in_features].
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  Shape output_shape(const Shape& input) const override;
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  std::string name() const override {
+    return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+  }
+  std::int64_t macs_per_sample(const Shape& input_chw) const override {
+    (void)input_chw;
+    return in_features_ * out_features_;
+  }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  Param weight_, bias_;
+  Tensor cached_input_;
+};
+
+/// [N, C, H, W] (or [N, F]) -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override;
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) during training,
+/// identity during inference.
+class Dropout final : public Layer {
+ public:
+  Dropout(float probability, util::Rng& rng) : probability_(probability), rng_(&rng) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  LayerKind kind() const override { return LayerKind::kDropout; }
+  std::string name() const override {
+    return "Dropout(p=" + std::to_string(probability_) + ")";
+  }
+
+ private:
+  float probability_;
+  util::Rng* rng_;
+  Tensor mask_;
+};
+
+}  // namespace nshd::nn

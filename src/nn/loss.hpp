@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss with fused gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace nshd::nn {
+
+struct LossResult {
+  double loss = 0.0;                 // mean over the batch
+  tensor::Tensor probabilities;      // [N, K] softmax outputs
+  tensor::Tensor grad_logits;        // [N, K] d(mean loss)/d(logits)
+  std::int64_t correct = 0;          // argmax == label count
+};
+
+/// Computes mean softmax-CE over a batch of logits [N, K] with integer
+/// labels; grad_logits = (softmax - onehot) / N.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace nshd::nn

@@ -1,0 +1,70 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace nshd::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    tensor::Tensor& vel = velocity_[i];
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* v = vel.data();
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= learning_rate_ * v[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,52 @@
+// First-order optimizers: SGD with momentum + weight decay, and Adam.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace nshd::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+ protected:
+  std::vector<Param*> params_;
+  float learning_rate_ = 0.01f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, epsilon_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+}  // namespace nshd::nn

@@ -1,0 +1,75 @@
+#include "nn/sequential.hpp"
+
+#include <cassert>
+
+namespace nshd::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::forward_to(const Tensor& input, std::size_t last_layer) {
+  assert(last_layer < layers_.size());
+  Tensor x = input;
+  for (std::size_t i = 0; i <= last_layer; ++i) {
+    x = layers_[i]->forward(x, /*training=*/false);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+Shape Sequential::output_shape_at(const Shape& input, std::size_t last_layer) const {
+  assert(last_layer < layers_.size());
+  Shape s = input;
+  for (std::size_t i = 0; i <= last_layer; ++i) s = layers_[i]->output_shape(s);
+  return s;
+}
+
+std::int64_t Sequential::macs_per_sample(const Shape& input_chw) const {
+  // Walk batch-less CHW shapes through the stack, accumulating per-layer MACs.
+  // Works because every layer's output_shape handles rank-4 with batch; wrap
+  // in a fake batch of 1.
+  Shape s{1, input_chw[0], input_chw.rank() > 1 ? input_chw[1] : 1,
+          input_chw.rank() > 2 ? input_chw[2] : 1};
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) {
+    if (layer->kind() == LayerKind::kFlatten || layer->kind() == LayerKind::kLinear) {
+      // Linear layers operate on [N, F]; flatten first.
+      if (s.rank() == 4) s = Shape{s[0], s.numel() / s[0]};
+    }
+    const Shape chw = s.rank() == 4 ? Shape{s[1], s[2], s[3]} : Shape{s[1]};
+    total += layer->macs_per_sample(chw);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,55 @@
+// Sequential layer container with the "cut at index k" operation the paper
+// relies on to form feature extractors (Sec. IV-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace nshd::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+
+  /// Forward through layers [0, last_layer] inclusive (inference mode).
+  /// `last_layer` = size()-1 is equivalent to full forward.
+  Tensor forward_to(const Tensor& input, std::size_t last_layer);
+
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input) const override;
+
+  /// Output shape after layer index `last_layer` (inclusive).
+  Shape output_shape_at(const Shape& input, std::size_t last_layer) const;
+
+  LayerKind kind() const override { return LayerKind::kBlock; }
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  std::int64_t macs_per_sample(const Shape& input_chw) const override;
+
+  void append_state(std::vector<Tensor*>& state) override {
+    for (auto& layer : layers_) layer->append_state(state);
+  }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace nshd::nn

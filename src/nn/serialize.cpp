@@ -1,0 +1,60 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+
+#include "util/cache.hpp"
+
+namespace nshd::nn {
+
+namespace {
+/// A layout fingerprint: hash of the sequence of tensor sizes.
+float layout_fingerprint(const std::vector<Tensor*>& state) {
+  std::string desc;
+  for (const Tensor* t : state) {
+    desc += std::to_string(t->numel());
+    desc += ',';
+  }
+  const std::uint64_t h = util::fnv1a64(desc);
+  float f;
+  const auto low = static_cast<std::uint32_t>(h ^ (h >> 32));
+  std::memcpy(&f, &low, sizeof f);
+  return f;
+}
+}  // namespace
+
+std::vector<float> save_state(Layer& layer) {
+  std::vector<Tensor*> state;
+  layer.append_state(state);
+  std::vector<float> blob;
+  std::int64_t total = 1;
+  for (const Tensor* t : state) total += t->numel();
+  blob.reserve(static_cast<std::size_t>(total));
+  blob.push_back(layout_fingerprint(state));
+  for (const Tensor* t : state)
+    blob.insert(blob.end(), t->storage().begin(), t->storage().end());
+  return blob;
+}
+
+bool load_state(Layer& layer, const std::vector<float>& blob) {
+  std::vector<Tensor*> state;
+  layer.append_state(state);
+  std::int64_t total = 1;
+  for (const Tensor* t : state) total += t->numel();
+  if (static_cast<std::int64_t>(blob.size()) != total) return false;
+  if (blob.empty() || blob[0] != layout_fingerprint(state)) return false;
+  std::size_t offset = 1;
+  for (Tensor* t : state) {
+    std::memcpy(t->data(), blob.data() + offset,
+                static_cast<std::size_t>(t->numel()) * sizeof(float));
+    offset += static_cast<std::size_t>(t->numel());
+  }
+  return true;
+}
+
+std::int64_t parameter_count(Layer& layer) {
+  std::int64_t total = 0;
+  for (const Param* p : layer.params()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace nshd::nn

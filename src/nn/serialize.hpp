@@ -1,0 +1,26 @@
+// Flat serialization of a layer's persistent state (params + running stats)
+// into a single float blob, used with util::DiskCache to memoize the
+// pretrained teacher CNNs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace nshd::nn {
+
+/// Serializes all state tensors of `layer` into one flat blob.  The first
+/// element is a checksum of the tensor-count/shape layout so that a stale
+/// cache from a different architecture is rejected on load.
+std::vector<float> save_state(Layer& layer);
+
+/// Restores state previously produced by save_state.  Returns false (and
+/// leaves the layer untouched) when the blob does not match the layer's
+/// layout.
+bool load_state(Layer& layer, const std::vector<float>& blob);
+
+/// Number of parameter floats (not counting running stats).
+std::int64_t parameter_count(Layer& layer);
+
+}  // namespace nshd::nn

@@ -1,0 +1,112 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace nshd::nn {
+
+TrainReport train_classifier(Sequential& model, const data::Dataset& train,
+                             const TrainConfig& config,
+                             const std::function<void(const EpochStats&)>& on_epoch) {
+  util::Rng rng(config.seed);
+  Sgd optimizer(model.params(), config.learning_rate, config.momentum,
+                config.weight_decay);
+  data::BatchIterator batches(train, config.batch_size, rng);
+
+  TrainReport report;
+  const std::int64_t total_steps =
+      std::max<std::int64_t>(1, config.epochs * batches.batches_per_epoch());
+  std::int64_t step = 0;
+
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::Stopwatch watch;
+    batches.reset();
+    tensor::Tensor images;
+    std::vector<std::int64_t> labels;
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, seen = 0, batch_count = 0;
+
+    while (batches.next(images, labels)) {
+      // Cosine learning-rate schedule.
+      const double progress = static_cast<double>(step) / static_cast<double>(total_steps);
+      const float lr = config.learning_rate *
+                       (config.min_lr_fraction +
+                        (1.0f - config.min_lr_fraction) *
+                            0.5f * (1.0f + static_cast<float>(std::cos(progress * 3.14159265))));
+      optimizer.set_learning_rate(lr);
+
+      tensor::Tensor logits = model.forward(images, /*training=*/true);
+      LossResult loss = softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad_logits);
+      optimizer.step();
+
+      loss_sum += loss.loss;
+      correct += loss.correct;
+      seen += static_cast<std::int64_t>(labels.size());
+      ++batch_count;
+      ++step;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / std::max<std::int64_t>(1, batch_count);
+    stats.accuracy = static_cast<double>(correct) / std::max<std::int64_t>(1, seen);
+    stats.seconds = watch.seconds();
+    report.epochs.push_back(stats);
+    report.final_train_accuracy = stats.accuracy;
+    NSHD_LOG_INFO("epoch %lld: loss=%.4f acc=%.4f (%.1fs)",
+                  static_cast<long long>(epoch), stats.loss, stats.accuracy,
+                  stats.seconds);
+    if (on_epoch) on_epoch(stats);
+    if (config.target_train_accuracy > 0.0f &&
+        stats.accuracy >= config.target_train_accuracy) {
+      NSHD_LOG_INFO("early stop at epoch %lld (train acc %.4f)",
+                    static_cast<long long>(epoch), stats.accuracy);
+      break;
+    }
+  }
+  return report;
+}
+
+double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
+                           std::int64_t batch_size) {
+  util::Rng rng(1);
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t correct = 0, seen = 0;
+  while (batches.next(images, labels)) {
+    const tensor::Tensor logits = model.forward(images, /*training=*/false);
+    for (std::int64_t n = 0; n < logits.shape()[0]; ++n) {
+      if (tensor::argmax_row(logits, n) == labels[static_cast<std::size_t>(n)]) ++correct;
+      ++seen;
+    }
+  }
+  return static_cast<double>(correct) / std::max<std::int64_t>(1, seen);
+}
+
+tensor::Tensor predict_logits(Sequential& model, const data::Dataset& dataset,
+                              std::int64_t batch_size) {
+  util::Rng rng(1);
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  tensor::Tensor all;
+  std::int64_t row = 0;
+  while (batches.next(images, labels)) {
+    const tensor::Tensor logits = model.forward(images, /*training=*/false);
+    if (all.empty()) {
+      all = tensor::Tensor(tensor::Shape{dataset.size(), logits.shape()[1]});
+    }
+    std::memcpy(all.data() + row * logits.shape()[1], logits.data(),
+                static_cast<std::size_t>(logits.numel()) * sizeof(float));
+    row += logits.shape()[0];
+  }
+  return all;
+}
+
+}  // namespace nshd::nn

@@ -1,0 +1,54 @@
+// Mini-batch CNN trainer: the "pretraining" step the paper buys for free by
+// downloading ImageNet weights.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::nn {
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  /// Cosine-anneal the learning rate to lr*min_lr_fraction over the run.
+  float min_lr_fraction = 0.05f;
+  /// Stop early once training accuracy reaches this level (0 disables).
+  float target_train_accuracy = 0.995f;
+  std::uint64_t seed = 7;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainReport {
+  std::vector<EpochStats> epochs;
+  double final_train_accuracy = 0.0;
+};
+
+/// Trains `model` (ending in a [N, K] logit layer) on `train` with SGD and a
+/// cosine schedule.  `on_epoch` (optional) observes progress.
+TrainReport train_classifier(Sequential& model, const data::Dataset& train,
+                             const TrainConfig& config,
+                             const std::function<void(const EpochStats&)>& on_epoch = {});
+
+/// Inference accuracy of `model` on `dataset` (batched, eval mode).
+double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
+                           std::int64_t batch_size = 64);
+
+/// Full-model logits for every sample (eval mode), shape [N, K].
+tensor::Tensor predict_logits(Sequential& model, const data::Dataset& dataset,
+                              std::int64_t batch_size = 64);
+
+}  // namespace nshd::nn

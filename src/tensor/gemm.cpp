@@ -1,0 +1,93 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nshd::tensor {
+
+namespace {
+// Block sizes tuned for a ~32KB L1 / 1MB L2 core; correctness does not
+// depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t p1 = std::min(p0 + kBlockK, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * n;
+        const float* ai = a + i * k;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float aip = ai[p];
+          if (aip == 0.0f) continue;
+          const float* bp = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate) {
+  // C[i,j] = sum_p A[i,p] * B[j,p]: rows of both operands are contiguous, so
+  // a straight dot-product loop is cache-friendly.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float sum = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+      ci[j] = accumulate ? ci[j] + sum : sum;
+    }
+  }
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate) {
+  // C[i,j] = sum_p A[p,i] * B[p,j].
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* ap = a + p * m;
+    const float* bp = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void gemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * n;
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) sum += ai[j] * x[j];
+    y[i] = sum;
+  }
+}
+
+void gemv_t(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {
+  std::memset(y, 0, static_cast<std::size_t>(n) * sizeof(float));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* ai = a + i * n;
+    for (std::int64_t j = 0; j < n; ++j) y[j] += xi * ai[j];
+  }
+}
+
+float dot(const float* a, const float* b, std::int64_t n) {
+  float sum = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace nshd::tensor

@@ -1,0 +1,35 @@
+// Single-precision GEMM kernels.
+//
+// All heavy math in the NN substrate funnels through these routines:
+// convolution (via im2col), linear layers, HD random projection, class
+// hypervector similarity banks.  The kernel is a cache-blocked ikj loop that
+// GCC auto-vectorizes well at -O3; it is not BLAS-fast but is more than
+// sufficient for the scaled-down models this reproduction trains.
+#pragma once
+
+#include <cstdint>
+
+namespace nshd::tensor {
+
+/// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// C[M,N] = A[M,K] * B[N,K]^T (+ C if accumulate).
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// C[M,N] = A[K,M]^T * B[K,N] (+ C if accumulate).
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// y[M] = A[M,N] * x[N].
+void gemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n);
+
+/// y[N] = A[M,N]^T * x[M].
+void gemv_t(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n);
+
+/// Dot product of two length-n vectors.
+float dot(const float* a, const float* b, std::int64_t n);
+
+}  // namespace nshd::tensor

@@ -1,0 +1,56 @@
+#include "tensor/im2col.hpp"
+
+namespace nshd::tensor {
+
+void im2col(const float* image, const ConvGeometry& geom, float* col) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.channels; ++c) {
+    const float* channel = image + c * geom.in_h * geom.in_w;
+    for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
+        float* out_row = col + row * (out_h * out_w);
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * geom.stride - geom.pad + kh;
+          float* out_ptr = out_row + oh * out_w;
+          if (ih < 0 || ih >= geom.in_h) {
+            for (std::int64_t ow = 0; ow < out_w; ++ow) out_ptr[ow] = 0.0f;
+            continue;
+          }
+          const float* in_row = channel + ih * geom.in_w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * geom.stride - geom.pad + kw;
+            out_ptr[ow] = (iw >= 0 && iw < geom.in_w) ? in_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& geom, float* image) {
+  const std::int64_t out_h = geom.out_h();
+  const std::int64_t out_w = geom.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geom.channels; ++c) {
+    float* channel = image + c * geom.in_h * geom.in_w;
+    for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
+        const float* in_row_base = col + row * (out_h * out_w);
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * geom.stride - geom.pad + kh;
+          if (ih < 0 || ih >= geom.in_h) continue;
+          const float* in_ptr = in_row_base + oh * out_w;
+          float* out_row = channel + ih * geom.in_w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * geom.stride - geom.pad + kw;
+            if (iw >= 0 && iw < geom.in_w) out_row[iw] += in_ptr[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nshd::tensor

@@ -1,0 +1,35 @@
+// im2col / col2im: convolution lowering to GEMM.
+//
+// im2col unfolds input patches into a matrix so that a convolution becomes a
+// single GEMM with the OIHW kernel flattened to [C_out, C_in*KH*KW]; col2im
+// is its adjoint and is used for the input-gradient in backprop.
+#pragma once
+
+#include <cstdint>
+
+namespace nshd::tensor {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t in_h = 0, in_w = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  /// Rows of the unfolded matrix: channels * kernel_h * kernel_w.
+  std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
+  /// Columns of the unfolded matrix: out_h * out_w.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Unfolds one image (CHW, contiguous) into `col` of shape
+/// [col_rows, col_cols].  Out-of-bounds (padding) reads produce zeros.
+void im2col(const float* image, const ConvGeometry& geom, float* col);
+
+/// Adjoint of im2col: accumulates `col` back into `image` (must be
+/// zero-initialized by the caller).
+void col2im(const float* col, const ConvGeometry& geom, float* image);
+
+}  // namespace nshd::tensor

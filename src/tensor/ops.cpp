@@ -1,0 +1,141 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace nshd::tensor {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] *= pb[i];
+  return out;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+double sum(const Tensor& a) {
+  double total = 0.0;
+  for (float x : a.span()) total += x;
+  return total;
+}
+
+double mean(const Tensor& a) {
+  return a.numel() == 0 ? 0.0 : sum(a) / static_cast<double>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  assert(a.numel() > 0);
+  return *std::max_element(a.span().begin(), a.span().end());
+}
+
+std::int64_t argmax(const Tensor& a) {
+  assert(a.numel() > 0);
+  const float* p = a.data();
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < a.numel(); ++i)
+    if (p[i] > p[best]) best = i;
+  return best;
+}
+
+std::int64_t argmax_row(const Tensor& a, std::int64_t row) {
+  assert(a.shape().rank() == 2);
+  const std::int64_t cols = a.shape()[1];
+  const float* p = a.data() + row * cols;
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < cols; ++i)
+    if (p[i] > p[best]) best = i;
+  return best;
+}
+
+double l2_norm(const Tensor& a) {
+  double total = 0.0;
+  for (float x : a.span()) total += static_cast<double>(x) * x;
+  return std::sqrt(total);
+}
+
+Tensor softmax(const Tensor& logits) { return softmax(logits, 1.0f); }
+
+Tensor softmax(const Tensor& logits, float temperature) {
+  assert(temperature > 0.0f);
+  assert(logits.shape().rank() == 1 || logits.shape().rank() == 2);
+  const std::int64_t rows = logits.shape().rank() == 2 ? logits.shape()[0] : 1;
+  const std::int64_t cols = logits.numel() / rows;
+  Tensor out = logits;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* p = out.data() + r * cols;
+    float hi = p[0];
+    for (std::int64_t i = 1; i < cols; ++i) hi = std::max(hi, p[i]);
+    double z = 0.0;
+    for (std::int64_t i = 0; i < cols; ++i) {
+      p[i] = std::exp((p[i] - hi) / temperature);
+      z += p[i];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t i = 0; i < cols; ++i) p[i] *= inv;
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  assert(a.shape().rank() == 2);
+  const std::int64_t rows = a.shape()[0];
+  const std::int64_t cols = a.shape()[1];
+  Tensor out(Shape{cols, rows});
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) out.at(c, r) = a.at(r, c);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.shape().rank() == 2 && b.shape().rank() == 2);
+  assert(a.shape()[1] == b.shape()[0]);
+  Tensor out(Shape{a.shape()[0], b.shape()[1]});
+  gemm(a.data(), b.data(), out.data(), a.shape()[0], a.shape()[1], b.shape()[1]);
+  return out;
+}
+
+}  // namespace nshd::tensor

@@ -1,0 +1,47 @@
+// Elementwise and reduction kernels on Tensors.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace nshd::tensor {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+/// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+/// a += alpha * b in place (axpy).
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+/// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// out = a * b elementwise (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// a *= s in place.
+void scale_inplace(Tensor& a, float s);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+/// Mean of all elements.
+double mean(const Tensor& a);
+/// Max element value.
+float max_value(const Tensor& a);
+/// Index of the max element (flat).
+std::int64_t argmax(const Tensor& a);
+/// Index of max within row r of a 2-D tensor.
+std::int64_t argmax_row(const Tensor& a, std::int64_t row);
+/// L2 norm.
+double l2_norm(const Tensor& a);
+
+/// Numerically stable softmax over the last axis of a 1-D or 2-D tensor.
+Tensor softmax(const Tensor& logits);
+/// Softmax with temperature: softmax(logits / t).
+Tensor softmax(const Tensor& logits, float temperature);
+
+/// Matrix transpose of a 2-D tensor.
+Tensor transpose(const Tensor& a);
+
+/// C = A[M,K] * B[K,N] for 2-D tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace nshd::tensor

@@ -1,0 +1,62 @@
+// Shape arithmetic for dense NCHW tensors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace nshd::tensor {
+
+/// A dense tensor shape (row-major / C-contiguous).  Rank up to 4 is used in
+/// practice: NCHW activations, OIHW conv kernels, (rows, cols) matrices and
+/// flat vectors.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { check(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { check(); }
+
+  std::size_t rank() const { return dims_.size(); }
+
+  std::int64_t operator[](std::size_t axis) const {
+    assert(axis < dims_.size());
+    return dims_[axis];
+  }
+
+  /// Total number of elements.
+  std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void check() const {
+    for ([[maybe_unused]] auto d : dims_) assert(d >= 0 && "negative dimension");
+  }
+  std::vector<std::int64_t> dims_;
+};
+
+/// Output spatial size of a convolution/pool: floor((in + 2p - k) / s) + 1.
+constexpr std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                                    std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace nshd::tensor

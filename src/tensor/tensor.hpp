@@ -1,0 +1,100 @@
+// Dense float tensor with value semantics.
+//
+// This is the numeric workhorse of the whole reproduction: CNN activations,
+// gradients, projection matrices, class hypervector banks are all Tensors.
+// Data is always contiguous row-major (NCHW for 4-D activations); views and
+// strides are deliberately not supported — the op kernels in ops.hpp copy
+// instead, which keeps the framework small and the indexing bug-free.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace nshd::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    assert(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    for (auto& x : t.data_) x = value;
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  const std::vector<float>& storage() const { return data_; }
+  std::vector<float>& storage() { return data_; }
+
+  /// Flat element access.
+  float& operator[](std::int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D access for (rows, cols) matrices.
+  float& at(std::int64_t r, std::int64_t c) {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4-D access for NCHW activations.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    assert(shape_.rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    assert(shape_.rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// Returns a copy with a different shape (same numel).
+  Tensor reshaped(Shape new_shape) const {
+    assert(new_shape.numel() == numel());
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  void fill(float value) {
+    for (auto& x : data_) x = value;
+  }
+
+  void zero() { fill(0.0f); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nshd::tensor

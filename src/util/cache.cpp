@@ -1,0 +1,81 @@
+#include "util/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace nshd::util {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string DiskCache::path_for(const std::string& key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return dir_ + "/" + buf + ".bin";
+}
+
+std::optional<std::vector<float>> DiskCache::get(const std::string& key) const {
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (bytes % sizeof(float) != 0) {
+    NSHD_LOG_WARN("cache entry %s has odd size; ignoring", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<float> blob(bytes / sizeof(float));
+  in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(bytes));
+  if (!in) return std::nullopt;
+  return blob;
+}
+
+void DiskCache::put(const std::string& key, const std::vector<float>& blob) const {
+  std::filesystem::create_directories(dir_);
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size() * sizeof(float)));
+    if (!out) {
+      NSHD_LOG_WARN("failed to write cache entry %s", tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) NSHD_LOG_WARN("failed to commit cache entry %s: %s", path.c_str(), ec.message().c_str());
+}
+
+bool DiskCache::contains(const std::string& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+void DiskCache::erase(const std::string& key) const {
+  std::error_code ec;
+  std::filesystem::remove(path_for(key), ec);
+}
+
+DiskCache DiskCache::standard() {
+  if (const char* env = std::getenv("NSHD_CACHE_DIR"); env != nullptr && *env != '\0') {
+    return DiskCache(env);
+  }
+  return DiskCache(".nshd_cache");
+}
+
+}  // namespace nshd::util

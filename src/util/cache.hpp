@@ -1,0 +1,47 @@
+// On-disk memoization of expensive artifacts.
+//
+// Pretraining the teacher CNNs is by far the most expensive step in the
+// reproduction pipeline (the paper sidesteps it by downloading pretrained
+// ImageNet weights).  Bench binaries and examples therefore cache trained
+// weights under a cache directory keyed by a configuration fingerprint, so
+// the whole experiment suite trains each teacher exactly once per machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nshd::util {
+
+/// FNV-1a 64-bit hash of a string; stable across runs/platforms.
+std::uint64_t fnv1a64(const std::string& text);
+
+/// A flat binary blob cache: key -> file `<dir>/<hash(key)>.bin`.
+class DiskCache {
+ public:
+  /// `dir` is created on first put() if it does not exist.
+  explicit DiskCache(std::string dir);
+
+  /// Returns the blob if present, std::nullopt otherwise.
+  std::optional<std::vector<float>> get(const std::string& key) const;
+
+  /// Writes (atomically via rename) the blob for `key`.
+  void put(const std::string& key, const std::vector<float>& blob) const;
+
+  bool contains(const std::string& key) const;
+
+  /// Removes the entry if present.
+  void erase(const std::string& key) const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// The repo-standard cache: $NSHD_CACHE_DIR or ".nshd_cache".
+  static DiskCache standard();
+
+ private:
+  std::string path_for(const std::string& key) const;
+  std::string dir_;
+};
+
+}  // namespace nshd::util

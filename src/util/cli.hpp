@@ -1,0 +1,34 @@
+// Tiny command-line flag parser shared by the examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unknown flags are kept so google-benchmark flags pass through untouched.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nshd::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; flags are removed into the map, positional args kept.
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nshd::util

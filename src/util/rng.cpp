@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace nshd::util {
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  auto idx = iota_indices(n);
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace nshd::util

@@ -1,0 +1,142 @@
+// Deterministic pseudo-random number generation for the whole repository.
+//
+// Every stochastic component (dataset synthesis, weight init, projection
+// hypervectors, training shuffles) draws from an explicitly seeded Rng so
+// that experiments are reproducible run-to-run.  The generator is
+// xoshiro256** seeded through splitmix64, which has far better statistical
+// quality than std::minstd and is much faster than std::mt19937_64.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nshd::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = next_float();
+    float u2 = next_float();
+    // Avoid log(0).
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean/stddev.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Random bipolar value: +1 or -1 with equal probability.
+  float bipolar() { return (next_u64() & 1ULL) ? 1.0f : -1.0f; }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Fisher-Yates shuffle of an index-able container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh generator whose seed is derived from this one plus a stream id.
+  /// Use to give independent substreams to parallel components.
+  Rng fork(std::uint64_t stream) {
+    std::uint64_t s = next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(s);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+/// Returns a vector {0, 1, ..., n-1}.
+std::vector<std::size_t> iota_indices(std::size_t n);
+
+/// Returns a shuffled permutation of {0..n-1}.
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace nshd::util

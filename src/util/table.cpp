@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace nshd::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size() && "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+void append_border(std::ostringstream& out, const std::vector<std::size_t>& widths) {
+  out << '+';
+  for (std::size_t width : widths) {
+    for (std::size_t i = 0; i < width + 2; ++i) out << '-';
+    out << '+';
+  }
+  out << '\n';
+}
+
+void append_row(std::ostringstream& out, const std::vector<std::string>& row,
+                const std::vector<std::size_t>& widths) {
+  out << '|';
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out << ' ' << row[c];
+    for (std::size_t i = row[c].size(); i < widths[c] + 1; ++i) out << ' ';
+    out << '|';
+  }
+  out << '\n';
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  const auto widths = column_widths(header_, rows_);
+  std::ostringstream out;
+  append_border(out, widths);
+  append_row(out, header_, widths);
+  append_border(out, widths);
+  for (const auto& row : rows_) append_row(out, row, widths);
+  append_border(out, widths);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    out << '|';
+    for (const auto& c : row) out << ' ' << c << " |";
+    out << '\n';
+  };
+  emit(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string cell(std::size_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2fGB", bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string format_count(double count) {
+  char buf[64];
+  if (count >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", count / 1e9);
+  } else if (count >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", count / 1e6);
+  } else if (count >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", count);
+  }
+  return buf;
+}
+
+}  // namespace nshd::util

@@ -1,0 +1,48 @@
+// ASCII table printer used by the bench harnesses to emit paper-style
+// tables/figure series (Table I, Table II, Fig. 4-10 rows) and by
+// EXPERIMENTS.md generation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nshd::util {
+
+/// A simple column-aligned table.  Cells are strings; use cell() helpers to
+/// format numbers consistently across benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with +---+ borders, column-aligned.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (header + rows).
+  std::string to_csv() const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting (e.g. cell(0.63871, 2) == "0.64").
+std::string cell(double value, int precision = 3);
+std::string cell(std::size_t value);
+std::string cell(int value);
+
+/// Formats a byte count as "12.36MB" style, matching Table II in the paper.
+std::string format_bytes(double bytes);
+
+/// Formats a count as "12.4M" / "3.1K" style.
+std::string format_count(double count);
+
+}  // namespace nshd::util

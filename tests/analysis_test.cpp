@@ -1,0 +1,209 @@
+// Tests for src/analysis: confusion metrics, t-SNE embedding quality, and
+// cluster-separation scores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/metrics.hpp"
+#include "analysis/pca.hpp"
+#include "analysis/tsne.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::analysis {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, RecallPrecision) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.precision(0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.recall(1), 0.5, 1e-9);
+  EXPECT_NEAR(cm.macro_recall(), (2.0 / 3.0 + 0.5) / 2.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, EmptyClassIsZeroNotNan) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+}
+
+TEST(Accuracy, VectorForm) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+/// Three well-separated Gaussian blobs in 10-D.
+struct Blobs {
+  Tensor points;
+  std::vector<std::int64_t> labels;
+};
+
+Blobs make_blobs(std::int64_t per_class, double separation, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::int64_t k = 3, f = 10, n = k * per_class;
+  Blobs b{Tensor(Shape{n, f}), {}};
+  for (std::int64_t c = 0; c < k; ++c) {
+    for (std::int64_t i = 0; i < per_class; ++i) {
+      const std::int64_t row = c * per_class + i;
+      for (std::int64_t j = 0; j < f; ++j) {
+        const float center = (j % k == c) ? static_cast<float>(separation) : 0.0f;
+        b.points.at(row, j) = center + rng.normal();
+      }
+      b.labels.push_back(c);
+    }
+  }
+  return b;
+}
+
+TEST(Silhouette, SeparatedBlobsScoreHigh) {
+  const Blobs b = make_blobs(20, 8.0, 1);
+  EXPECT_GT(silhouette_score(b.points, b.labels), 0.5);
+}
+
+TEST(Silhouette, RandomLabelsScoreNearZero) {
+  Blobs b = make_blobs(20, 8.0, 2);
+  util::Rng rng(3);
+  rng.shuffle(b.labels);
+  EXPECT_LT(silhouette_score(b.points, b.labels), 0.2);
+}
+
+TEST(Silhouette, OverlappingBlobsScoreLow) {
+  const Blobs tight = make_blobs(20, 8.0, 4);
+  const Blobs loose = make_blobs(20, 0.5, 4);
+  EXPECT_GT(silhouette_score(tight.points, tight.labels),
+            silhouette_score(loose.points, loose.labels));
+}
+
+TEST(SeparationRatio, GreaterForSeparatedData) {
+  const Blobs tight = make_blobs(15, 8.0, 5);
+  const Blobs loose = make_blobs(15, 0.5, 5);
+  EXPECT_GT(class_separation_ratio(tight.points, tight.labels), 1.5);
+  EXPECT_GT(class_separation_ratio(tight.points, tight.labels),
+            class_separation_ratio(loose.points, loose.labels));
+}
+
+TEST(Tsne, OutputShapeAndFiniteness) {
+  const Blobs b = make_blobs(10, 6.0, 6);
+  TsneConfig config;
+  config.iterations = 120;
+  const Tensor y = tsne(b.points, config);
+  EXPECT_EQ(y.shape(), Shape({30, 2}));
+  for (float v : y.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Tsne, PreservesClusterStructure) {
+  // The defining Fig. 11 property: separated high-dimensional classes stay
+  // separated in the 2-D embedding.
+  const Blobs b = make_blobs(15, 8.0, 7);
+  TsneConfig config;
+  config.iterations = 300;
+  const Tensor y = tsne(b.points, config);
+  EXPECT_GT(class_separation_ratio(y, b.labels), 1.5);
+  EXPECT_GT(silhouette_score(y, b.labels), 0.3);
+}
+
+TEST(Tsne, OverlappingDataStaysOverlapping) {
+  const Blobs loose = make_blobs(15, 0.3, 8);
+  TsneConfig config;
+  config.iterations = 200;
+  const Tensor y = tsne(loose.points, config);
+  EXPECT_LT(silhouette_score(y, loose.labels), 0.3);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data varies mostly along (1,1,0,...)/sqrt(2).
+  util::Rng rng(11);
+  const std::int64_t n = 200, f = 6;
+  Tensor data(Shape{n, f});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float major = rng.normal(0.0f, 5.0f);
+    for (std::int64_t j = 0; j < f; ++j) data.at(i, j) = rng.normal(0.0f, 0.2f);
+    data.at(i, 0) += major;
+    data.at(i, 1) += major;
+  }
+  const Pca pca(data, 1);
+  const float a = pca.directions().at(0, 0);
+  const float b = pca.directions().at(0, 1);
+  EXPECT_NEAR(std::fabs(a), std::sqrt(0.5f), 0.05f);
+  EXPECT_NEAR(std::fabs(b), std::sqrt(0.5f), 0.05f);
+  EXPECT_GT(a * b, 0.0f);  // same sign: the (1,1) direction
+  EXPECT_GT(pca.explained_variance_ratio(), 0.9);
+}
+
+TEST(Pca, DirectionsAreOrthonormal) {
+  util::Rng rng(12);
+  Tensor data(Shape{100, 8});
+  for (float& v : data.span()) v = rng.normal();
+  const Pca pca(data, 4);
+  for (std::int64_t a = 0; a < 4; ++a) {
+    double norm = 0.0;
+    for (std::int64_t j = 0; j < 8; ++j)
+      norm += static_cast<double>(pca.directions().at(a, j)) * pca.directions().at(a, j);
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+    for (std::int64_t b = a + 1; b < 4; ++b) {
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < 8; ++j)
+        dot += static_cast<double>(pca.directions().at(a, j)) * pca.directions().at(b, j);
+      EXPECT_NEAR(dot, 0.0, 0.05);
+    }
+  }
+}
+
+TEST(Pca, VarianceIsDescending) {
+  util::Rng rng(13);
+  Tensor data(Shape{150, 10});
+  for (std::int64_t i = 0; i < 150; ++i)
+    for (std::int64_t j = 0; j < 10; ++j)
+      data.at(i, j) = rng.normal(0.0f, static_cast<float>(10 - j));
+  const Pca pca(data, 5);
+  for (std::size_t c = 1; c < pca.explained_variance().size(); ++c) {
+    EXPECT_GE(pca.explained_variance()[c - 1], pca.explained_variance()[c] - 1e-3f);
+  }
+}
+
+TEST(Pca, TransformCentersData) {
+  util::Rng rng(14);
+  Tensor data(Shape{80, 5});
+  for (float& v : data.span()) v = rng.normal(3.0f, 1.0f);
+  const Pca pca(data, 2);
+  // Mean of transformed data ~ 0.
+  double mean0 = 0.0, mean1 = 0.0;
+  for (std::int64_t i = 0; i < 80; ++i) {
+    const Tensor y = pca.transform(data.data() + i * 5);
+    mean0 += y[0];
+    mean1 += y[1];
+  }
+  EXPECT_NEAR(mean0 / 80.0, 0.0, 0.1);
+  EXPECT_NEAR(mean1 / 80.0, 0.0, 0.1);
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  const Blobs b = make_blobs(8, 5.0, 9);
+  TsneConfig config;
+  config.iterations = 50;
+  const Tensor a = tsne(b.points, config);
+  const Tensor c = tsne(b.points, config);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], c[i]);
+}
+
+}  // namespace
+}  // namespace nshd::analysis

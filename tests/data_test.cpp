@@ -1,0 +1,242 @@
+// Tests for src/data: SynthCIFAR generator properties and batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include <fstream>
+
+#include "data/ppm.hpp"
+#include "data/synth_cifar.hpp"
+
+namespace nshd::data {
+namespace {
+
+SynthCifarConfig small_config() {
+  SynthCifarConfig config;
+  config.num_classes = 10;
+  config.samples_per_class = 8;
+  return config;
+}
+
+TEST(SynthCifar, ShapeAndLabels) {
+  const Dataset ds = make_synth_cifar(small_config());
+  EXPECT_EQ(ds.size(), 80);
+  EXPECT_EQ(ds.channels(), 3);
+  EXPECT_EQ(ds.height(), 32);
+  EXPECT_EQ(ds.width(), 32);
+  EXPECT_EQ(ds.num_classes, 10);
+  std::vector<int> counts(10, 0);
+  for (std::int64_t label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 10);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(SynthCifar, PixelsAreNormalized) {
+  const Dataset ds = make_synth_cifar(small_config());
+  for (float v : ds.images.span()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SynthCifar, DeterministicForSameSeed) {
+  const Dataset a = make_synth_cifar(small_config());
+  const Dataset b = make_synth_cifar(small_config());
+  ASSERT_EQ(a.images.numel(), b.images.numel());
+  for (std::int64_t i = 0; i < a.images.numel(); ++i)
+    ASSERT_EQ(a.images[i], b.images[i]);
+}
+
+TEST(SynthCifar, DifferentSeedsDiffer) {
+  SynthCifarConfig c1 = small_config();
+  SynthCifarConfig c2 = small_config();
+  c2.seed = 123456;
+  const Dataset a = make_synth_cifar(c1);
+  const Dataset b = make_synth_cifar(c2);
+  std::int64_t equal = 0;
+  for (std::int64_t i = 0; i < a.images.numel(); ++i)
+    if (a.images[i] == b.images[i]) ++equal;
+  EXPECT_LT(equal, a.images.numel() / 2);
+}
+
+TEST(SynthCifar, SplitOffsetChangesInstances) {
+  const Dataset a = make_synth_cifar(small_config(), 0);
+  const Dataset b = make_synth_cifar(small_config(), 1);
+  std::int64_t equal = 0;
+  for (std::int64_t i = 0; i < a.images.numel(); ++i)
+    if (a.images[i] == b.images[i]) ++equal;
+  EXPECT_LT(equal, a.images.numel() / 2);
+}
+
+TEST(SynthCifar, InstancesWithinClassVary) {
+  const Dataset ds = make_synth_cifar(small_config());
+  // Samples 0 and 1 are both class 0 but must not be identical (noise,
+  // jitter, flips).
+  const std::int64_t chw = ds.sample_shape().numel();
+  std::int64_t equal = 0;
+  for (std::int64_t i = 0; i < chw; ++i)
+    if (ds.images[i] == ds.images[chw + i]) ++equal;
+  EXPECT_LT(equal, chw / 4);
+}
+
+TEST(SynthCifar, ClassesAreStatisticallyDistinct) {
+  // Mean images of two classes should differ much more than mean images of
+  // two disjoint halves of the same class.
+  SynthCifarConfig config = small_config();
+  config.samples_per_class = 80;
+  config.noise_stddev = 0.1f;
+  config.jitter_fraction = 0.1f;
+  config.distractor_strength = 0.3f;
+  const Dataset ds = make_synth_cifar(config);
+  const std::int64_t chw = ds.sample_shape().numel();
+
+  auto mean_image = [&](std::int64_t cls, std::int64_t lo, std::int64_t hi) {
+    std::vector<double> m(static_cast<std::size_t>(chw), 0.0);
+    std::int64_t count = 0;
+    for (std::int64_t i = 0; i < ds.size(); ++i) {
+      if (ds.labels[static_cast<std::size_t>(i)] != cls) continue;
+      if (count >= lo && count < hi) {
+        for (std::int64_t j = 0; j < chw; ++j) m[static_cast<std::size_t>(j)] += ds.images[i * chw + j];
+      }
+      ++count;
+    }
+    for (auto& v : m) v /= static_cast<double>(hi - lo);
+    return m;
+  };
+  auto l2 = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+  };
+
+  const auto class0_half1 = mean_image(0, 0, 40);
+  const auto class0_half2 = mean_image(0, 40, 80);
+  const auto class1 = mean_image(1, 0, 80);
+  EXPECT_GT(l2(class0_half1, class1), 1.5 * l2(class0_half1, class0_half2));
+}
+
+TEST(SynthCifar, HundredClassVariant) {
+  SynthCifarConfig config;
+  config.num_classes = 100;
+  config.samples_per_class = 2;
+  const Dataset ds = make_synth_cifar(config);
+  EXPECT_EQ(ds.size(), 200);
+  EXPECT_EQ(ds.num_classes, 100);
+  std::set<std::int64_t> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SynthCifar, CacheKeyDistinguishesConfigs) {
+  SynthCifarConfig a = small_config();
+  SynthCifarConfig b = small_config();
+  b.noise_stddev = 0.5f;
+  EXPECT_NE(a.cache_key("train"), b.cache_key("train"));
+  EXPECT_NE(a.cache_key("train"), a.cache_key("test"));
+}
+
+TEST(SynthCifar, TrainTestSplitUsesDisjointNoise) {
+  const TrainTest tt = make_synth_cifar_split(small_config(), 4);
+  EXPECT_EQ(tt.train.size(), 80);
+  EXPECT_EQ(tt.test.size(), 40);
+}
+
+TEST(Dataset, GatherCopiesRows) {
+  const Dataset ds = make_synth_cifar(small_config());
+  const tensor::Tensor batch = ds.gather({3, 5});
+  EXPECT_EQ(batch.shape(), tensor::Shape({2, 3, 32, 32}));
+  const std::int64_t chw = ds.sample_shape().numel();
+  for (std::int64_t i = 0; i < chw; ++i) {
+    EXPECT_EQ(batch[i], ds.images[3 * chw + i]);
+    EXPECT_EQ(batch[chw + i], ds.images[5 * chw + i]);
+  }
+}
+
+TEST(Dataset, GatherLabels) {
+  const Dataset ds = make_synth_cifar(small_config());
+  const auto labels = ds.gather_labels({0, 8, 16});
+  EXPECT_EQ(labels, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(BatchIterator, CoversWholeEpochOnce) {
+  const Dataset ds = make_synth_cifar(small_config());
+  util::Rng rng(1);
+  BatchIterator it(ds, 16, rng);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t seen = 0;
+  while (it.next(images, labels)) seen += static_cast<std::int64_t>(labels.size());
+  EXPECT_EQ(seen, ds.size());
+  EXPECT_EQ(it.batches_per_epoch(), 5);
+}
+
+TEST(BatchIterator, LastBatchMayBeShort) {
+  const Dataset ds = make_synth_cifar(small_config());  // 80 samples
+  util::Rng rng(1);
+  BatchIterator it(ds, 32, rng);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::vector<std::int64_t> sizes;
+  while (it.next(images, labels)) sizes.push_back(images.shape()[0]);
+  EXPECT_EQ(sizes, (std::vector<std::int64_t>{32, 32, 16}));
+}
+
+TEST(BatchIterator, ShuffleChangesOrderAcrossEpochs) {
+  const Dataset ds = make_synth_cifar(small_config());
+  util::Rng rng(1);
+  BatchIterator it(ds, 80, rng);
+  tensor::Tensor images;
+  std::vector<std::int64_t> first, second;
+  it.next(images, first);
+  it.reset();
+  it.next(images, second);
+  EXPECT_NE(first, second);
+}
+
+TEST(Ppm, WritesValidHeaderAndSize) {
+  const Dataset ds = make_synth_cifar(small_config());
+  const std::string path = "/tmp/nshd_ppm_test.ppm";
+  ASSERT_TRUE(write_ppm(ds, 0, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 32);
+  EXPECT_EQ(h, 32);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(32 * 32 * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_TRUE(static_cast<bool>(in));
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, SheetCoversAllClasses) {
+  const Dataset ds = make_synth_cifar(small_config());
+  const std::string path = "/tmp/nshd_ppm_sheet_test.ppm";
+  ASSERT_TRUE(write_ppm_sheet(ds, 3, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(w, 3 * 32);
+  EXPECT_EQ(h, 10 * 32);
+  std::remove(path.c_str());
+}
+
+TEST(BatchIterator, NoShufflePreservesOrder) {
+  const Dataset ds = make_synth_cifar(small_config());
+  util::Rng rng(1);
+  BatchIterator it(ds, 80, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  it.next(images, labels);
+  EXPECT_EQ(labels, ds.labels);
+}
+
+}  // namespace
+}  // namespace nshd::data

@@ -1,0 +1,122 @@
+// Integration tests for core::ExperimentContext — the shared harness the
+// benches and examples run on.  Uses a deliberately tiny configuration so
+// the whole pipeline (dataset synthesis, teacher pretraining, feature
+// caching, NSHD training, VanillaHD) executes in seconds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+
+namespace nshd::core {
+namespace {
+
+/// Tiny, fast experiment configuration sharing one cache directory.
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  static ExperimentConfig tiny_config() {
+    ExperimentConfig config;
+    config.dataset.num_classes = 3;
+    config.dataset.samples_per_class = 40;
+    config.dataset.noise_stddev = 0.25f;
+    config.dataset.jitter_fraction = 0.12f;
+    config.dataset.distractor_strength = 0.35f;
+    config.test_samples_per_class = 10;
+    config.teacher.epochs = 15;
+    config.teacher.batch_size = 20;
+    config.teacher.target_train_accuracy = 0.97f;
+    return config;
+  }
+
+  static void SetUpTestSuite() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nshd_experiment_test_" + std::to_string(::getpid()));
+    ::setenv("NSHD_CACHE_DIR", dir_.c_str(), 1);
+    context_ = new ExperimentContext(tiny_config());
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    context_ = nullptr;
+    ::unsetenv("NSHD_CACHE_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+  static ExperimentContext& context() { return *context_; }
+
+ private:
+  static ExperimentContext* context_;
+  static std::filesystem::path dir_;
+};
+
+ExperimentContext* ExperimentFixture::context_ = nullptr;
+std::filesystem::path ExperimentFixture::dir_;
+
+TEST_F(ExperimentFixture, DatasetsMatchConfig) {
+  EXPECT_EQ(context().train().size(), 120);
+  EXPECT_EQ(context().test().size(), 30);
+  EXPECT_EQ(context().num_classes(), 3);
+}
+
+TEST_F(ExperimentFixture, TeacherLearnsAndIsCached) {
+  const double acc = context().cnn_test_accuracy("mobilenetv2s");
+  EXPECT_GT(acc, 0.5);  // far above the 1/3 chance level
+  // Second access is memoized (identical value, no retraining).
+  EXPECT_EQ(context().cnn_test_accuracy("mobilenetv2s"), acc);
+}
+
+TEST_F(ExperimentFixture, TeacherLogitsShape) {
+  const tensor::Tensor& logits = context().teacher_train_logits("mobilenetv2s");
+  EXPECT_EQ(logits.shape(), tensor::Shape({120, 3}));
+}
+
+TEST_F(ExperimentFixture, FeaturesAreMemoized) {
+  const ExtractedFeatures& a = context().train_features("mobilenetv2s", 14);
+  const ExtractedFeatures& b = context().train_features("mobilenetv2s", 14);
+  EXPECT_EQ(&a, &b);  // same object, not a recomputation
+  EXPECT_EQ(a.values.shape()[0], 120);
+  EXPECT_EQ(a.chw.numel(), a.values.shape()[1]);
+}
+
+TEST_F(ExperimentFixture, DistinctCutsAreDistinctEntries) {
+  const ExtractedFeatures& a = context().train_features("mobilenetv2s", 14);
+  const ExtractedFeatures& b = context().train_features("mobilenetv2s", 17);
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(a.values.shape()[1], b.values.shape()[1]);
+}
+
+TEST_F(ExperimentFixture, RunNshdBeatsChance) {
+  NshdConfig config;
+  config.dim = 1000;
+  config.epochs = 10;
+  const auto run = context().run_nshd("mobilenetv2s", 14, config);
+  EXPECT_GT(run.test_accuracy, 0.5);
+  EXPECT_GT(run.final_train_accuracy, 0.6);
+  EXPECT_GT(run.train_seconds, 0.0);
+}
+
+TEST_F(ExperimentFixture, BaselineHdRuns) {
+  const auto run = context().run_nshd("mobilenetv2s", 14, baseline_hd_config(1000));
+  EXPECT_GT(run.test_accuracy, 0.5);
+}
+
+TEST_F(ExperimentFixture, VanillaHdRunsEndToEnd) {
+  // On this deliberately easy 3-class fixture raw-pixel HD can be strong;
+  // the paper's VanillaHD << NSHD ordering is asserted at full scale by
+  // bench_fig7_accuracy, not here.  This test covers the code path only.
+  const double vanilla = context().vanilla_hd_accuracy(1000, /*mass_epochs=*/5);
+  EXPECT_GT(vanilla, 1.0 / 3.0 * 0.8);  // not degenerate
+  EXPECT_LE(vanilla, 1.0);
+}
+
+TEST(ExperimentConfig, StandardScalesWithClassCount) {
+  const ExperimentConfig ten = ExperimentConfig::standard(10);
+  const ExperimentConfig hundred = ExperimentConfig::standard(100);
+  EXPECT_EQ(ten.dataset.num_classes, 10);
+  EXPECT_EQ(hundred.dataset.num_classes, 100);
+  // The 100-class task uses fewer samples per class to stay tractable.
+  EXPECT_LT(hundred.dataset.samples_per_class, ten.dataset.samples_per_class);
+}
+
+}  // namespace
+}  // namespace nshd::core

@@ -1,0 +1,516 @@
+// Tests for src/hd: hypervector packing/kernels, random projection,
+// ID-level encoding, and the MASS classifier — including the statistical
+// invariants HD computing rests on (quasi-orthogonality, similarity
+// preservation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hd/classifier.hpp"
+#include "hd/hypervector.hpp"
+#include "hd/projection.hpp"
+#include "hd/vanilla.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::hd {
+namespace {
+
+TEST(Hypervector, SetGetFlip) {
+  Hypervector h(130);
+  EXPECT_EQ(h.get(0), -1.0f);
+  h.set(0, true);
+  EXPECT_EQ(h.get(0), 1.0f);
+  h.set(129, true);
+  EXPECT_EQ(h.get(129), 1.0f);
+  h.flip(129);
+  EXPECT_EQ(h.get(129), -1.0f);
+}
+
+TEST(Hypervector, FromSignThresholdsAtZero) {
+  const float values[] = {-0.5f, 0.0f, 2.0f, -1e-9f};
+  const Hypervector h = Hypervector::from_sign(values, 4);
+  EXPECT_EQ(h.get(0), -1.0f);
+  EXPECT_EQ(h.get(1), 1.0f);  // ties break toward +1
+  EXPECT_EQ(h.get(2), 1.0f);
+  EXPECT_EQ(h.get(3), -1.0f);
+}
+
+TEST(Hypervector, RandomIsRoughlyBalanced) {
+  util::Rng rng(1);
+  const Hypervector h = Hypervector::random(10000, rng);
+  std::int64_t pos = 0;
+  for (std::int64_t i = 0; i < h.dim(); ++i)
+    if (h.get(i) > 0.0f) ++pos;
+  EXPECT_NEAR(static_cast<double>(pos) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Hypervector, RandomPairQuasiOrthogonal) {
+  // Kanerva: random hypervectors overlap in ~D/2 bits with stddev sqrt(D/4),
+  // i.e. normalized dot ~ N(0, 1/sqrt(D)).
+  util::Rng rng(2);
+  const std::int64_t dim = 10000;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Hypervector a = Hypervector::random(dim, rng);
+    const Hypervector b = Hypervector::random(dim, rng);
+    const double normalized = static_cast<double>(a.dot(b)) / dim;
+    EXPECT_LT(std::fabs(normalized), 5.0 / std::sqrt(static_cast<double>(dim)));
+  }
+}
+
+TEST(Hypervector, DotWithSelfIsDim) {
+  util::Rng rng(3);
+  const Hypervector h = Hypervector::random(777, rng);
+  EXPECT_EQ(h.dot(h), 777);
+  EXPECT_EQ(h.hamming(h), 0);
+}
+
+TEST(Hypervector, HammingDotRelation) {
+  util::Rng rng(4);
+  const Hypervector a = Hypervector::random(512, rng);
+  const Hypervector b = Hypervector::random(512, rng);
+  EXPECT_EQ(a.dot(b), 512 - 2 * a.hamming(b));
+}
+
+TEST(Hypervector, BindIsQuasiOrthogonalToInputs) {
+  util::Rng rng(5);
+  const std::int64_t dim = 8192;
+  const Hypervector a = Hypervector::random(dim, rng);
+  const Hypervector b = Hypervector::random(dim, rng);
+  const Hypervector bound = a.bind(b);
+  EXPECT_LT(std::fabs(static_cast<double>(bound.dot(a))) / dim, 0.06);
+  EXPECT_LT(std::fabs(static_cast<double>(bound.dot(b))) / dim, 0.06);
+}
+
+TEST(Hypervector, BindIsSelfInverse) {
+  util::Rng rng(6);
+  const Hypervector a = Hypervector::random(300, rng);
+  const Hypervector b = Hypervector::random(300, rng);
+  const Hypervector unbound = a.bind(b).bind(b);
+  EXPECT_EQ(unbound, a);
+}
+
+TEST(Hypervector, BindElementwiseMultiply) {
+  Hypervector a(2), b(2);
+  a.set(0, true);   // +1
+  a.set(1, false);  // -1
+  b.set(0, false);  // -1
+  b.set(1, false);  // -1
+  const Hypervector c = a.bind(b);
+  EXPECT_EQ(c.get(0), -1.0f);  // +1 * -1
+  EXPECT_EQ(c.get(1), 1.0f);   // -1 * -1
+}
+
+TEST(Hypervector, TensorRoundTrip) {
+  util::Rng rng(7);
+  const Hypervector h = Hypervector::random(100, rng);
+  const tensor::Tensor t = h.to_tensor();
+  const Hypervector back = Hypervector::from_sign(t);
+  EXPECT_EQ(h, back);
+}
+
+TEST(FloatDot, MatchesUnpackedArithmetic) {
+  util::Rng rng(8);
+  const std::int64_t dim = 200;
+  const Hypervector h = Hypervector::random(dim, rng);
+  std::vector<float> m(static_cast<std::size_t>(dim));
+  for (auto& v : m) v = rng.normal();
+  double expect = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) expect += m[static_cast<std::size_t>(i)] * h.get(i);
+  EXPECT_NEAR(dot(m.data(), h), expect, 1e-3);
+}
+
+TEST(Axpy, MatchesUnpackedArithmetic) {
+  util::Rng rng(9);
+  const std::int64_t dim = 130;
+  const Hypervector h = Hypervector::random(dim, rng);
+  std::vector<float> m(static_cast<std::size_t>(dim), 1.0f);
+  axpy(m.data(), 0.5f, h);
+  for (std::int64_t i = 0; i < dim; ++i)
+    EXPECT_FLOAT_EQ(m[static_cast<std::size_t>(i)], 1.0f + 0.5f * h.get(i));
+}
+
+TEST(BundleAccumulator, MajorityVote) {
+  util::Rng rng(10);
+  const std::int64_t dim = 64;
+  Hypervector a(dim), b(dim), c(dim);
+  // a = b = +1 at position 3; c = -1 there: majority is +1.
+  a.set(3, true);
+  b.set(3, true);
+  BundleAccumulator acc(dim);
+  acc.add(a);
+  acc.add(b);
+  acc.add(c);
+  EXPECT_EQ(acc.count(), 3);
+  const Hypervector m = acc.majority(rng);
+  EXPECT_EQ(m.get(3), 1.0f);
+  EXPECT_EQ(m.get(5), -1.0f);  // all three are -1 there
+}
+
+TEST(BundleAccumulator, BundleIsSimilarToInputs) {
+  // The defining property of bundling: the majority vector stays similar to
+  // each input.
+  util::Rng rng(11);
+  const std::int64_t dim = 4096;
+  BundleAccumulator acc(dim);
+  std::vector<Hypervector> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(Hypervector::random(dim, rng));
+    acc.add(inputs.back());
+  }
+  const Hypervector m = acc.majority(rng);
+  const Hypervector unrelated = Hypervector::random(dim, rng);
+  for (const auto& in : inputs) {
+    EXPECT_GT(static_cast<double>(m.dot(in)) / dim, 0.2);
+  }
+  EXPECT_LT(std::fabs(static_cast<double>(m.dot(unrelated))) / dim, 0.06);
+}
+
+// --- RandomProjection ---
+
+TEST(RandomProjection, ProjectMatchesExplicitMatrix) {
+  util::Rng rng(12);
+  RandomProjection proj(50, 37, rng);
+  std::vector<float> v(37);
+  util::Rng vr(13);
+  for (auto& x : v) x = vr.normal();
+  const tensor::Tensor z = proj.project(v.data());
+  for (std::int64_t r = 0; r < 50; ++r) {
+    double expect = 0.0;
+    for (std::int64_t c = 0; c < 37; ++c) expect += proj.element(r, c) * v[static_cast<std::size_t>(c)];
+    EXPECT_NEAR(z[r], expect, 1e-3);
+  }
+}
+
+TEST(RandomProjection, EncodeIsSignOfProjection) {
+  util::Rng rng(14);
+  RandomProjection proj(64, 10, rng);
+  std::vector<float> v(10);
+  util::Rng vr(15);
+  for (auto& x : v) x = vr.normal();
+  const tensor::Tensor z = proj.project(v.data());
+  const Hypervector h = proj.encode(v.data());
+  for (std::int64_t d = 0; d < 64; ++d) {
+    EXPECT_EQ(h.get(d) > 0.0f, z[d] >= 0.0f);
+  }
+}
+
+TEST(RandomProjection, PreservesSimilarity) {
+  // Random projection to bipolar codes approximately preserves angles:
+  // nearby inputs get similar hypervectors, far inputs dissimilar ones.
+  util::Rng rng(16);
+  RandomProjection proj(4096, 32, rng);
+  util::Rng vr(17);
+  std::vector<float> a(32), near(32), far(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = vr.normal();
+    near[i] = a[i] + 0.1f * vr.normal();
+    far[i] = vr.normal();
+  }
+  const Hypervector ha = proj.encode(a.data());
+  const Hypervector hn = proj.encode(near.data());
+  const Hypervector hf = proj.encode(far.data());
+  EXPECT_GT(ha.dot(hn), ha.dot(hf));
+  EXPECT_GT(static_cast<double>(ha.dot(hn)) / 4096.0, 0.8);
+}
+
+TEST(RandomProjection, DecodeIsAdjointOfProject) {
+  // <P v, g> == <v, P^T g>.
+  util::Rng rng(18);
+  RandomProjection proj(40, 23, rng);
+  util::Rng vr(19);
+  tensor::Tensor v(tensor::Shape{23}), g(tensor::Shape{40});
+  for (float& x : v.span()) x = vr.normal();
+  for (float& x : g.span()) x = vr.normal();
+  const tensor::Tensor z = proj.project(v);
+  const tensor::Tensor back = proj.decode(g);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < 40; ++i) lhs += static_cast<double>(z[i]) * g[i];
+  for (std::int64_t i = 0; i < 23; ++i) rhs += static_cast<double>(v[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(RandomProjection, EncodeWithPreSignReturnsBoth) {
+  util::Rng rng(20);
+  RandomProjection proj(32, 8, rng);
+  tensor::Tensor v(tensor::Shape{8});
+  util::Rng vr(21);
+  for (float& x : v.span()) x = vr.normal();
+  tensor::Tensor pre;
+  const Hypervector h = proj.encode(v, pre);
+  EXPECT_EQ(pre.numel(), 32);
+  for (std::int64_t d = 0; d < 32; ++d) EXPECT_EQ(h.get(d) > 0.0f, pre[d] >= 0.0f);
+}
+
+TEST(RandomProjection, PackedBytes) {
+  util::Rng rng(22);
+  RandomProjection proj(3000, 100, rng);
+  // 100 features -> 2 words per row -> 3000 * 16 bytes.
+  EXPECT_EQ(proj.packed_bytes(), 3000 * 2 * 8);
+}
+
+// --- IdLevelEncoder (VanillaHD) ---
+
+TEST(IdLevel, LevelQuantization) {
+  IdLevelConfig config;
+  config.levels = 4;
+  config.min_value = 0.0f;
+  config.max_value = 1.0f;
+  const IdLevelEncoder enc(3, config);
+  EXPECT_EQ(enc.level_of(-1.0f), 0);
+  EXPECT_EQ(enc.level_of(0.1f), 0);
+  EXPECT_EQ(enc.level_of(0.3f), 1);
+  EXPECT_EQ(enc.level_of(0.6f), 2);
+  EXPECT_EQ(enc.level_of(0.9f), 3);
+  EXPECT_EQ(enc.level_of(2.0f), 3);
+}
+
+TEST(IdLevel, NeighbouringLevelsAreSimilar) {
+  IdLevelConfig config;
+  config.dim = 4096;
+  config.levels = 16;
+  const IdLevelEncoder enc(3, config);
+  const double adjacent =
+      static_cast<double>(enc.level_hv(0).dot(enc.level_hv(1))) / config.dim;
+  const double extremes =
+      static_cast<double>(enc.level_hv(0).dot(enc.level_hv(15))) / config.dim;
+  EXPECT_GT(adjacent, 0.8);
+  EXPECT_LT(extremes, adjacent - 0.3);
+}
+
+TEST(IdLevel, SimilarInputsGetSimilarCodes) {
+  IdLevelConfig config;
+  config.dim = 4096;
+  const IdLevelEncoder enc(16, config);
+  util::Rng rng(23);
+  std::vector<float> a(16), near(16), far(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = rng.uniform(-0.8f, 0.8f);
+    near[i] = a[i] + 0.02f;
+    far[i] = rng.uniform(-0.8f, 0.8f);
+  }
+  const Hypervector ha = enc.encode(a.data());
+  const Hypervector hn = enc.encode(near.data());
+  const Hypervector hf = enc.encode(far.data());
+  EXPECT_GT(ha.dot(hn), ha.dot(hf));
+}
+
+TEST(IdLevel, DeterministicEncoding) {
+  IdLevelConfig config;
+  config.dim = 512;
+  const IdLevelEncoder enc(8, config);
+  std::vector<float> v{0.1f, -0.5f, 0.9f, 0.0f, 0.3f, -0.9f, 0.5f, -0.2f};
+  EXPECT_EQ(enc.encode(v.data()), enc.encode(v.data()));
+}
+
+// --- HdClassifier ---
+
+/// Builds a toy separable HD problem: per class, a random prototype
+/// hypervector; samples are the prototype with a fraction of bits flipped.
+struct ToyProblem {
+  std::vector<Hypervector> train, test;
+  std::vector<std::int64_t> train_labels, test_labels;
+  std::int64_t dim, classes;
+};
+
+ToyProblem make_toy(std::int64_t dim, std::int64_t classes, std::int64_t per_class,
+                    double flip_fraction, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Hypervector> prototypes;
+  for (std::int64_t c = 0; c < classes; ++c)
+    prototypes.push_back(Hypervector::random(dim, rng));
+  ToyProblem p;
+  p.dim = dim;
+  p.classes = classes;
+  auto sample = [&](std::int64_t c) {
+    Hypervector h = prototypes[static_cast<std::size_t>(c)];
+    const auto flips = static_cast<std::int64_t>(flip_fraction * static_cast<double>(dim));
+    for (std::int64_t f = 0; f < flips; ++f)
+      h.flip(static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(dim))));
+    return h;
+  };
+  for (std::int64_t c = 0; c < classes; ++c) {
+    for (std::int64_t i = 0; i < per_class; ++i) {
+      p.train.push_back(sample(c));
+      p.train_labels.push_back(c);
+      p.test.push_back(sample(c));
+      p.test_labels.push_back(c);
+    }
+  }
+  return p;
+}
+
+TEST(HdClassifier, BundleInitClassifiesSeparableData) {
+  const ToyProblem p = make_toy(2048, 5, 20, 0.25, 31);
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  EXPECT_GT(clf.evaluate(p.test, p.test_labels), 0.95);
+}
+
+TEST(HdClassifier, MassImprovesOnHardProblem) {
+  const ToyProblem p = make_toy(1024, 8, 25, 0.42, 37);
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  const double before = clf.evaluate(p.test, p.test_labels);
+  MassConfig mass;
+  mass.epochs = 15;
+  clf.train(p.train, p.train_labels, mass);
+  const double after = clf.evaluate(p.test, p.test_labels);
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.8);
+}
+
+TEST(HdClassifier, SimilaritiesCosineRange) {
+  const ToyProblem p = make_toy(512, 3, 10, 0.3, 41);
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  const auto sims = clf.similarities(p.test[0], Similarity::kCosine);
+  ASSERT_EQ(sims.size(), 3u);
+  for (float s : sims) {
+    EXPECT_GE(s, -1.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+}
+
+TEST(HdClassifier, ApplyUpdatePullsTowardSample) {
+  util::Rng rng(43);
+  const std::int64_t dim = 1024;
+  HdClassifier clf(2, dim);
+  const Hypervector h = Hypervector::random(dim, rng);
+  const auto before = clf.similarities(h, Similarity::kDot);
+  clf.apply_update(h, {1.0f, -1.0f}, 0.5f);
+  const auto after = clf.similarities(h, Similarity::kDot);
+  EXPECT_GT(after[0], before[0]);
+  EXPECT_LT(after[1], before[1]);
+}
+
+TEST(HdClassifier, QueryGradientDirection) {
+  // Moving H along -query_gradient must increase the under-predicted class's
+  // similarity contribution: check sign structure against a direct formula.
+  util::Rng rng(47);
+  const std::int64_t dim = 256;
+  HdClassifier clf(2, dim);
+  // Non-trivial class vectors.
+  for (std::int64_t d = 0; d < dim; ++d) {
+    clf.class_vector(0)[d] = rng.normal();
+    clf.class_vector(1)[d] = rng.normal();
+  }
+  const std::vector<float> update{1.0f, 0.0f};  // class 0 under-predicted
+  const tensor::Tensor g = clf.query_gradient(update);
+  // g = -u_0 * C_0 / norm: anti-parallel to C_0.
+  double dot_c0 = 0.0;
+  for (std::int64_t d = 0; d < dim; ++d)
+    dot_c0 += static_cast<double>(g[d]) * clf.class_vector(0)[d];
+  EXPECT_LT(dot_c0, 0.0);
+}
+
+TEST(HdClassifier, QuantizedPredictionAgreesMostly) {
+  const ToyProblem p = make_toy(2048, 4, 15, 0.3, 53);
+  HdClassifier clf(p.classes, p.dim);
+  MassConfig mass;
+  mass.epochs = 10;
+  clf.train(p.train, p.train_labels, mass);
+  const auto quantized = clf.quantized_classes();
+  std::int64_t agree = 0;
+  for (const auto& h : p.test) {
+    if (clf.predict(h) == HdClassifier::predict_quantized(quantized, h)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(p.test.size()), 0.9);
+}
+
+TEST(HdClassifier, PerceptronEpochFixesMispredictions) {
+  const ToyProblem p = make_toy(1024, 5, 20, 0.4, 61);
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  double acc = 0.0;
+  for (int e = 0; e < 15; ++e) acc = clf.perceptron_epoch(p.train, p.train_labels, 1.0f);
+  EXPECT_GT(acc, 0.8);
+  EXPECT_GT(clf.evaluate(p.test, p.test_labels), 0.7);
+}
+
+TEST(HdClassifier, PerceptronSkipsCorrectSamples) {
+  util::Rng rng(67);
+  const std::int64_t dim = 256;
+  HdClassifier clf(2, dim);
+  const Hypervector h = Hypervector::random(dim, rng);
+  // Make class 0 already aligned with h.
+  axpy(clf.class_vector(0), 5.0f, h);
+  const tensor::Tensor before = clf.bank();
+  clf.perceptron_epoch({h}, {0}, 1.0f);
+  // Correctly predicted: no update at all.
+  for (std::int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_EQ(clf.bank()[i], before[i]);
+}
+
+TEST(HdClassifier, QuantizedEvaluationCloseToFloat) {
+  const ToyProblem p = make_toy(2048, 5, 20, 0.3, 71);
+  HdClassifier clf(p.classes, p.dim);
+  MassConfig mass;
+  mass.epochs = 10;
+  clf.train(p.train, p.train_labels, mass);
+  const double float_acc = clf.evaluate(p.test, p.test_labels);
+  const double quant_acc = clf.evaluate_quantized(p.test, p.test_labels);
+  EXPECT_NEAR(quant_acc, float_acc, 0.08);  // "very minor impacts" (Sec. VI-B)
+}
+
+TEST(HdClassifier, AddClassLearnsIncrementally) {
+  // Train on 4 classes, then one-shot-add a 5th without touching the bank;
+  // the grown model must classify all 5.
+  const ToyProblem base = make_toy(2048, 4, 20, 0.3, 73);
+  HdClassifier clf(4, 2048);
+  MassConfig mass;
+  mass.epochs = 8;
+  clf.train(base.train, base.train_labels, mass);
+
+  const ToyProblem extra = make_toy(2048, 5, 20, 0.3, 73);  // same prototypes +1
+  std::vector<Hypervector> fifth_train, fifth_test;
+  for (std::size_t i = 0; i < extra.train.size(); ++i) {
+    if (extra.train_labels[i] == 4) fifth_train.push_back(extra.train[i]);
+    if (extra.test_labels[i] == 4) fifth_test.push_back(extra.test[i]);
+  }
+  const std::int64_t new_class = clf.add_class(fifth_train);
+  EXPECT_EQ(new_class, 4);
+  EXPECT_EQ(clf.num_classes(), 5);
+
+  // Old classes still work...
+  EXPECT_GT(clf.evaluate(base.test, base.test_labels), 0.8);
+  // ...and the new class is recognized from its one-shot bundle.
+  std::int64_t correct = 0;
+  for (const auto& h : fifth_test)
+    if (clf.predict(h) == new_class) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(fifth_test.size()), 0.7);
+}
+
+TEST(HdClassifier, AddClassPreservesExistingVectors) {
+  util::Rng rng(79);
+  HdClassifier clf(2, 128);
+  for (std::int64_t d = 0; d < 128; ++d) {
+    clf.class_vector(0)[d] = rng.normal();
+    clf.class_vector(1)[d] = rng.normal();
+  }
+  const std::vector<float> before0(clf.class_vector(0), clf.class_vector(0) + 128);
+  const std::vector<float> before1(clf.class_vector(1), clf.class_vector(1) + 128);
+  clf.add_class({Hypervector::random(128, rng)});
+  for (std::int64_t d = 0; d < 128; ++d) {
+    EXPECT_EQ(clf.class_vector(0)[d], before0[static_cast<std::size_t>(d)]);
+    EXPECT_EQ(clf.class_vector(1)[d], before1[static_cast<std::size_t>(d)]);
+  }
+}
+
+class MassDimensions : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MassDimensions, AccuracyHoldsAcrossDimensionality) {
+  // The paper's Fig. 10 premise: enough dimensions => stable accuracy.
+  const std::int64_t dim = GetParam();
+  const ToyProblem p = make_toy(dim, 5, 20, 0.3, 59);
+  HdClassifier clf(p.classes, p.dim);
+  MassConfig mass;
+  mass.epochs = 8;
+  clf.train(p.train, p.train_labels, mass);
+  EXPECT_GT(clf.evaluate(p.test, p.test_labels), dim >= 1000 ? 0.9 : 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MassDimensions,
+                         ::testing::Values<std::int64_t>(500, 1000, 3000, 10000));
+
+}  // namespace
+}  // namespace nshd::hd

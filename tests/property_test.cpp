@@ -1,0 +1,286 @@
+// Property-based parameterized sweeps across module configuration grids:
+// shape-consistency of every layer geometry, bit-packing invariants at word
+// boundaries, encoder adjointness across dimensions, and HD-learning
+// convergence across class counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "hd/classifier.hpp"
+#include "hd/hypervector.hpp"
+#include "hd/projection.hpp"
+#include "hd/vanilla.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/blocks.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "util/rng.hpp"
+
+namespace nshd {
+namespace {
+
+using nn::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(Shape shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = rng.normal();
+  return t;
+}
+
+// --- Conv2d geometry sweep: forward shape == declared output_shape, and the
+// backward pass returns an input-shaped gradient, for every geometry. ---
+
+using ConvCase = std::tuple<int, int, int, int, int, int>;  // in_c,out_c,k,s,pad,hw
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, ForwardShapeMatchesDeclared) {
+  const auto [in_c, out_c, k, s, pad, hw] = GetParam();
+  util::Rng rng(1);
+  nn::Conv2d conv(in_c, out_c, k, s, pad, true, rng);
+  Tensor x = random_tensor(Shape{2, in_c, hw, hw}, rng);
+  const Tensor y = conv.forward(x, /*training=*/true);
+  EXPECT_EQ(y.shape(), conv.output_shape(x.shape()));
+  const Tensor gx = conv.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_GT(conv.macs_per_sample(Shape{in_c, hw, hw}), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometry,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4}, ConvCase{3, 8, 3, 1, 1, 8},
+                      ConvCase{4, 2, 3, 2, 1, 9}, ConvCase{2, 5, 5, 2, 2, 12},
+                      ConvCase{8, 8, 1, 1, 0, 7}, ConvCase{3, 16, 3, 2, 1, 32}));
+
+// --- MBConv configuration sweep ---
+
+using MBCase = std::tuple<int, int, int, int, int, bool>;  // in,out,expand,k,s,se
+
+class MBConvSweep : public ::testing::TestWithParam<MBCase> {};
+
+TEST_P(MBConvSweep, ForwardBackwardShapes) {
+  const auto [in_c, out_c, expand, k, s, se] = GetParam();
+  util::Rng rng(2);
+  nn::MBConvConfig config;
+  config.in_channels = in_c;
+  config.out_channels = out_c;
+  config.expand_ratio = expand;
+  config.kernel = k;
+  config.stride = s;
+  config.use_se = se;
+  nn::MBConvBlock block(config, rng);
+  Tensor x = random_tensor(Shape{2, in_c, 8, 8}, rng);
+  const Tensor y = block.forward(x, /*training=*/true);
+  EXPECT_EQ(y.shape(), block.output_shape(x.shape()));
+  EXPECT_EQ(block.has_residual(), s == 1 && in_c == out_c);
+  const Tensor gx = block.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MBConvSweep,
+                         ::testing::Values(MBCase{4, 4, 1, 3, 1, false},
+                                           MBCase{4, 8, 6, 3, 2, false},
+                                           MBCase{6, 6, 6, 3, 1, true},
+                                           MBCase{4, 10, 6, 5, 2, true},
+                                           MBCase{8, 8, 2, 5, 1, true}));
+
+// --- Hypervector word-boundary sweep: packing must be exact at and around
+// 64-bit word boundaries. ---
+
+class WordBoundary : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(WordBoundary, PackingInvariants) {
+  const std::int64_t dim = GetParam();
+  util::Rng rng(3);
+  const hd::Hypervector a = hd::Hypervector::random(dim, rng);
+  const hd::Hypervector b = hd::Hypervector::random(dim, rng);
+  // Self-similarity is exact.
+  EXPECT_EQ(a.dot(a), dim);
+  EXPECT_EQ(a.hamming(a), 0);
+  // Symmetry.
+  EXPECT_EQ(a.hamming(b), b.hamming(a));
+  // Hamming within [0, dim]; padding bits must not leak into counts.
+  EXPECT_GE(a.hamming(b), 0);
+  EXPECT_LE(a.hamming(b), dim);
+  // Round-trip through the float view.
+  EXPECT_EQ(hd::Hypervector::from_sign(a.to_tensor()), a);
+  // Binding self-inverse at every size.
+  EXPECT_EQ(a.bind(b).bind(b), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WordBoundary,
+                         ::testing::Values<std::int64_t>(1, 2, 63, 64, 65, 127,
+                                                         128, 129, 1000, 3000));
+
+// --- RandomProjection adjoint property across (dim, features) grid ---
+
+using ProjCase = std::tuple<int, int>;
+
+class ProjectionSweep : public ::testing::TestWithParam<ProjCase> {};
+
+TEST_P(ProjectionSweep, DecodeIsAdjoint) {
+  const auto [dim, features] = GetParam();
+  util::Rng rng(4);
+  const hd::RandomProjection proj(dim, features, rng);
+  Tensor v(Shape{features}), g(Shape{dim});
+  for (float& x : v.span()) x = rng.normal();
+  for (float& x : g.span()) x = rng.normal();
+  const Tensor z = proj.project(v);
+  const Tensor back = proj.decode(g);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) lhs += static_cast<double>(z[i]) * g[i];
+  for (std::int64_t i = 0; i < features; ++i) rhs += static_cast<double>(v[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST_P(ProjectionSweep, EncodingIsDeterministic) {
+  const auto [dim, features] = GetParam();
+  util::Rng rng(5);
+  const hd::RandomProjection proj(dim, features, rng);
+  Tensor v(Shape{features});
+  for (float& x : v.span()) x = rng.normal();
+  EXPECT_EQ(proj.encode(v), proj.encode(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProjectionSweep,
+                         ::testing::Values(ProjCase{64, 10}, ProjCase{100, 64},
+                                           ProjCase{1000, 100}, ProjCase{128, 128},
+                                           ProjCase{3000, 63}, ProjCase{513, 65}));
+
+// --- Pooling geometry sweep ---
+
+using PoolCase = std::tuple<int, int, int>;  // k, s, hw
+
+class PoolSweep : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolSweep, MaxPoolNeverInventsValues) {
+  const auto [k, s, hw] = GetParam();
+  util::Rng rng(6);
+  nn::MaxPool2d pool(k, s);
+  Tensor x = random_tensor(Shape{1, 3, hw, hw}, rng);
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), pool.output_shape(x.shape()));
+  const float x_max = *std::max_element(x.span().begin(), x.span().end());
+  for (float v : y.span()) EXPECT_LE(v, x_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PoolSweep,
+                         ::testing::Values(PoolCase{2, 2, 8}, PoolCase{3, 2, 9},
+                                           PoolCase{2, 1, 5}, PoolCase{3, 3, 12}));
+
+// --- BatchNorm across channel counts: training output is always
+// zero-mean/unit-variance per channel. ---
+
+class BatchNormSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BatchNormSweep, NormalizesEveryChannelCount) {
+  const std::int64_t channels = GetParam();
+  util::Rng rng(7);
+  nn::BatchNorm2d bn(channels);
+  Tensor x = random_tensor(Shape{4, channels, 5, 5}, rng);
+  for (float& v : x.span()) v = v * 3.0f + 2.0f;
+  const Tensor y = bn.forward(x, true);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t i = 0; i < 25; ++i) {
+        const float v = y[(n * channels + c) * 25 + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-3);
+    EXPECT_NEAR(sq / 100.0, 1.0, 2e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, BatchNormSweep,
+                         ::testing::Values<std::int64_t>(1, 2, 7, 16));
+
+// --- IdLevel encoder: similarity decays monotonically (on average) with
+// level distance for every level count. ---
+
+class IdLevelSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IdLevelSweep, LevelChainDecaysWithDistance) {
+  const std::int64_t levels = GetParam();
+  hd::IdLevelConfig config;
+  config.dim = 4096;
+  config.levels = levels;
+  const hd::IdLevelEncoder enc(4, config);
+  const double near =
+      static_cast<double>(enc.level_hv(0).dot(enc.level_hv(levels / 4)));
+  const double far =
+      static_cast<double>(enc.level_hv(0).dot(enc.level_hv(levels - 1)));
+  EXPECT_GT(near, far);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, IdLevelSweep,
+                         ::testing::Values<std::int64_t>(8, 16, 32, 64));
+
+// --- MASS learning converges across class counts ---
+
+class MassClasses : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MassClasses, SeparableProblemIsLearned) {
+  const std::int64_t classes = GetParam();
+  const std::int64_t dim = 2048;
+  util::Rng rng(classes * 97);
+  std::vector<hd::Hypervector> prototypes;
+  for (std::int64_t c = 0; c < classes; ++c)
+    prototypes.push_back(hd::Hypervector::random(dim, rng));
+  std::vector<hd::Hypervector> train, test;
+  std::vector<std::int64_t> train_labels, test_labels;
+  auto noisy = [&](std::int64_t c) {
+    hd::Hypervector h = prototypes[static_cast<std::size_t>(c)];
+    for (int f = 0; f < dim / 3; ++f)
+      h.flip(static_cast<std::int64_t>(rng.next_below(dim)));
+    return h;
+  };
+  for (std::int64_t c = 0; c < classes; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      train.push_back(noisy(c));
+      train_labels.push_back(c);
+      test.push_back(noisy(c));
+      test_labels.push_back(c);
+    }
+  }
+  hd::HdClassifier clf(classes, dim);
+  hd::MassConfig config;
+  config.epochs = 10;
+  clf.train(train, train_labels, config);
+  EXPECT_GT(clf.evaluate(test, test_labels), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, MassClasses,
+                         ::testing::Values<std::int64_t>(2, 5, 10, 25));
+
+// --- Activation functions: analytic gradient matches finite differences on
+// a value sweep (the kinks excluded). ---
+
+class ActivationSweep
+    : public ::testing::TestWithParam<std::tuple<nn::Activation, float>> {};
+
+TEST_P(ActivationSweep, GradMatchesFiniteDifference) {
+  const auto [act, x] = GetParam();
+  const float eps = 1e-3f;
+  const float numeric =
+      (nn::activate(act, x + eps) - nn::activate(act, x - eps)) / (2.0f * eps);
+  EXPECT_NEAR(nn::activate_grad(act, x), numeric, 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ActivationSweep,
+    ::testing::Combine(::testing::Values(nn::Activation::kReLU,
+                                         nn::Activation::kReLU6,
+                                         nn::Activation::kSiLU,
+                                         nn::Activation::kSigmoid),
+                       ::testing::Values(-3.0f, -1.0f, -0.3f, 0.4f, 1.7f, 3.0f,
+                                         5.5f, 7.0f)));
+
+}  // namespace
+}  // namespace nshd

@@ -1,0 +1,337 @@
+// Tests for src/tensor: shapes, tensor container, GEMM kernels, im2col, ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nshd::tensor {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_dim(32, 2, 2, 0), 16);
+  EXPECT_EQ(conv_out_dim(7, 3, 2, 1), 4);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  for (float v : t.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{5}, 2.5f);
+  for (float v : t.span()) EXPECT_EQ(v, 2.5f);
+  t.fill(-1.0f);
+  for (float v : t.span()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, At2DMatchesFlat) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, At4DMatchesFlat) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapedSharesValues) {
+  Tensor t(Shape{2, 6});
+  t.at(1, 1) = 3.0f;
+  Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.at(1, 3), 3.0f);
+  EXPECT_EQ(r.numel(), t.numel());
+}
+
+// --- GEMM kernels against a naive reference ---
+
+void naive_gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) sum += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = sum;
+    }
+}
+
+Tensor random_tensor(Shape shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = rng.normal();
+  return t;
+}
+
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 100 + k * 10 + n);
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor expect(Shape{m, n}), got(Shape{m, n});
+  naive_gemm(a, b, expect);
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmSizes, TransposedBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(1000 + m);
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor bt = random_tensor(Shape{n, k}, rng);
+  // Reference: b = bt^T.
+  Tensor b(Shape{k, n});
+  for (std::int64_t i = 0; i < k; ++i)
+    for (std::int64_t j = 0; j < n; ++j) b.at(i, j) = bt.at(j, i);
+  Tensor expect(Shape{m, n}), got(Shape{m, n});
+  naive_gemm(a, b, expect);
+  gemm_bt(a.data(), bt.data(), got.data(), m, k, n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+TEST_P(GemmSizes, TransposedAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(2000 + m);
+  const Tensor at = random_tensor(Shape{k, m}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  Tensor a(Shape{m, k});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < k; ++j) a.at(i, j) = at.at(j, i);
+  Tensor expect(Shape{m, n}), got(Shape{m, n});
+  naive_gemm(a, b, expect);
+  gemm_at(at.data(), b.data(), got.data(), m, k, n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizes,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{3, 5, 2},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{17, 31, 13},
+                                           std::tuple{64, 70, 65},
+                                           std::tuple{5, 300, 7}));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  util::Rng rng(3);
+  const Tensor a = random_tensor(Shape{4, 6}, rng);
+  const Tensor b = random_tensor(Shape{6, 5}, rng);
+  Tensor base(Shape{4, 5});
+  base.fill(1.0f);
+  Tensor plain(Shape{4, 5});
+  gemm(a.data(), b.data(), plain.data(), 4, 6, 5);
+  gemm(a.data(), b.data(), base.data(), 4, 6, 5, /*accumulate=*/true);
+  for (std::int64_t i = 0; i < base.numel(); ++i)
+    EXPECT_NEAR(base[i], plain[i] + 1.0f, 1e-4f);
+}
+
+TEST(Gemv, MatchesGemm) {
+  util::Rng rng(4);
+  const Tensor a = random_tensor(Shape{7, 9}, rng);
+  const Tensor x = random_tensor(Shape{9, 1}, rng);
+  Tensor expect(Shape{7, 1});
+  naive_gemm(a, x, expect);
+  Tensor got(Shape{7});
+  gemv(a.data(), x.data(), got.data(), 7, 9);
+  for (std::int64_t i = 0; i < 7; ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(GemvT, MatchesTransposedMultiply) {
+  util::Rng rng(5);
+  const Tensor a = random_tensor(Shape{7, 9}, rng);
+  const Tensor x = random_tensor(Shape{7}, rng);
+  Tensor got(Shape{9});
+  gemv_t(a.data(), x.data(), got.data(), 7, 9);
+  for (std::int64_t j = 0; j < 9; ++j) {
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < 7; ++i) sum += a.at(i, j) * x[i];
+    EXPECT_NEAR(got[j], sum, 1e-4f);
+  }
+}
+
+TEST(Dot, SimpleValues) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, -5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b, 3), 4 - 10 + 18);
+}
+
+// --- im2col / col2im ---
+
+TEST(Im2col, IdentityKernelReproducesInput) {
+  // 1x1 kernel, stride 1, no pad: col == image.
+  util::Rng rng(6);
+  const ConvGeometry g{.channels = 2, .in_h = 3, .in_w = 3, .kernel_h = 1,
+                       .kernel_w = 1, .stride = 1, .pad = 0};
+  Tensor img = random_tensor(Shape{2, 3, 3}, rng);
+  Tensor col(Shape{g.col_rows(), g.col_cols()});
+  im2col(img.data(), g, col.data());
+  for (std::int64_t i = 0; i < img.numel(); ++i) EXPECT_EQ(col[i], img[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  const ConvGeometry g{.channels = 1, .in_h = 2, .in_w = 2, .kernel_h = 3,
+                       .kernel_w = 3, .stride = 1, .pad = 1};
+  Tensor img = Tensor::full(Shape{1, 2, 2}, 1.0f);
+  Tensor col(Shape{g.col_rows(), g.col_cols()});
+  im2col(img.data(), g, col.data());
+  // Top-left output position, top-left kernel tap hits padding.
+  EXPECT_EQ(col.at(0, 0), 0.0f);
+  // Center taps hit real pixels.
+  EXPECT_EQ(col.at(4, 0), 1.0f);
+}
+
+TEST(Im2col, KnownSmallCase) {
+  // 1 channel 3x3 image, 2x2 kernel stride 1: 4 output positions.
+  Tensor img(Shape{1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) img[i] = static_cast<float>(i);
+  const ConvGeometry g{.channels = 1, .in_h = 3, .in_w = 3, .kernel_h = 2,
+                       .kernel_w = 2, .stride = 1, .pad = 0};
+  Tensor col(Shape{4, 4});
+  im2col(img.data(), g, col.data());
+  // Row 0 = kernel tap (0,0) over positions: pixels 0,1,3,4.
+  EXPECT_EQ(col.at(0, 0), 0.0f);
+  EXPECT_EQ(col.at(0, 1), 1.0f);
+  EXPECT_EQ(col.at(0, 2), 3.0f);
+  EXPECT_EQ(col.at(0, 3), 4.0f);
+  // Row 3 = tap (1,1): pixels 4,5,7,8.
+  EXPECT_EQ(col.at(3, 0), 4.0f);
+  EXPECT_EQ(col.at(3, 3), 8.0f);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // the conv backward pass relies on.
+  util::Rng rng(7);
+  const ConvGeometry g{.channels = 3, .in_h = 5, .in_w = 4, .kernel_h = 3,
+                       .kernel_w = 3, .stride = 2, .pad = 1};
+  Tensor x = random_tensor(Shape{g.channels, g.in_h, g.in_w}, rng);
+  Tensor y = random_tensor(Shape{g.col_rows(), g.col_cols()}, rng);
+  Tensor col(Shape{g.col_rows(), g.col_cols()});
+  im2col(x.data(), g, col.data());
+  Tensor back(Shape{g.channels, g.in_h, g.in_w});
+  col2im(y.data(), g, back.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < col.numel(); ++i) lhs += static_cast<double>(col[i]) * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+// --- ops ---
+
+TEST(Ops, AddSubMul) {
+  Tensor a(Shape{3}), b(Shape{3});
+  a[0] = 1; a[1] = 2; a[2] = 3;
+  b[0] = 4; b[1] = 5; b[2] = 6;
+  const Tensor s = add(a, b);
+  EXPECT_EQ(s[0], 5.0f);
+  const Tensor d = sub(b, a);
+  EXPECT_EQ(d[2], 3.0f);
+  const Tensor p = mul(a, b);
+  EXPECT_EQ(p[1], 10.0f);
+}
+
+TEST(Ops, AxpyInplace) {
+  Tensor a = Tensor::full(Shape{4}, 1.0f);
+  Tensor b = Tensor::full(Shape{4}, 2.0f);
+  axpy_inplace(a, 0.5f, b);
+  for (float v : a.span()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Ops, SumMeanNorm) {
+  Tensor a(Shape{4});
+  a[0] = 3; a[1] = -4; a[2] = 0; a[3] = 1;
+  EXPECT_DOUBLE_EQ(sum(a), 0.0);
+  EXPECT_DOUBLE_EQ(mean(a), 0.0);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(9.0 + 16.0 + 1.0), 1e-6);
+}
+
+TEST(Ops, ArgmaxVariants) {
+  Tensor a(Shape{2, 3});
+  a.at(0, 1) = 5.0f;
+  a.at(1, 2) = 7.0f;
+  EXPECT_EQ(argmax(a), 5);
+  EXPECT_EQ(argmax_row(a, 0), 1);
+  EXPECT_EQ(argmax_row(a, 1), 2);
+}
+
+TEST(Ops, SoftmaxSumsToOne) {
+  util::Rng rng(8);
+  Tensor logits = random_tensor(Shape{4, 7}, rng);
+  const Tensor p = softmax(logits);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double row = 0.0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      row += p.at(r, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  Tensor a(Shape{3});
+  a[0] = 1; a[1] = 2; a[2] = 3;
+  Tensor b(Shape{3});
+  b[0] = 101; b[1] = 102; b[2] = 103;
+  const Tensor pa = softmax(a), pb = softmax(b);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6f);
+}
+
+TEST(Ops, SoftmaxTemperatureFlattens) {
+  Tensor a(Shape{2});
+  a[0] = 0; a[1] = 4;
+  const Tensor sharp = softmax(a, 1.0f);
+  const Tensor soft = softmax(a, 16.0f);
+  EXPECT_GT(sharp[1] - sharp[0], soft[1] - soft[0]);
+  EXPECT_NEAR(soft[0] + soft[1], 1.0f, 1e-6f);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  util::Rng rng(9);
+  const Tensor a = random_tensor(Shape{3, 5}, rng);
+  const Tensor t = transpose(a);
+  EXPECT_EQ(t.shape(), Shape({5, 3}));
+  const Tensor back = transpose(t);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], back[i]);
+}
+
+TEST(Ops, MatmulMatchesGemm) {
+  util::Rng rng(10);
+  const Tensor a = random_tensor(Shape{4, 6}, rng);
+  const Tensor b = random_tensor(Shape{6, 3}, rng);
+  const Tensor c = matmul(a, b);
+  Tensor expect(Shape{4, 3});
+  naive_gemm(a, b, expect);
+  for (std::int64_t i = 0; i < c.numel(); ++i) EXPECT_NEAR(c[i], expect[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace nshd::tensor

@@ -1,0 +1,240 @@
+// Tests for src/util: rng, table formatting, cache, cli parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/cache.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace nshd::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+}
+
+TEST(Rng, NextBelowIsBounded) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.uniform_int(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    saw_lo |= x == 2;
+    saw_hi |= x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BipolarIsBalanced) {
+  Rng rng(19);
+  int pos = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bipolar() > 0) ++pos;
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  auto perm = random_permutation(100, rng);
+  std::sort(perm.begin(), perm.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork(0);
+  // The fork must not replay the parent's stream.
+  int equal = 0;
+  Rng parent_copy(31);
+  for (int i = 0; i < 64; ++i)
+    if (child.next_u64() == parent_copy.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Table, RendersAllRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+  EXPECT_NE(s.find("| 3"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, MarkdownHasSeparator) {
+  Table t({"x"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_markdown().find("---|"), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(0.63871, 2), "0.64");
+  EXPECT_EQ(cell(std::size_t{42}), "42");
+  EXPECT_EQ(cell(-3), "-3");
+}
+
+TEST(Table, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(2048), "2.00KB");
+  EXPECT_EQ(format_bytes(69.61 * 1024 * 1024), "69.61MB");
+}
+
+TEST(Table, FormatCount) {
+  EXPECT_EQ(format_count(500), "500");
+  EXPECT_EQ(format_count(2500), "2.50K");
+  EXPECT_EQ(format_count(3.1e6), "3.10M");
+  EXPECT_EQ(format_count(2.5e9), "2.50G");
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nshd_cache_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskCacheTest, RoundTrip) {
+  DiskCache cache(dir_.string());
+  const std::vector<float> blob{1.0f, 2.5f, -3.0f};
+  EXPECT_FALSE(cache.contains("key"));
+  cache.put("key", blob);
+  EXPECT_TRUE(cache.contains("key"));
+  auto loaded = cache.get("key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, blob);
+}
+
+TEST_F(DiskCacheTest, MissingKeyReturnsNullopt) {
+  DiskCache cache(dir_.string());
+  EXPECT_FALSE(cache.get("missing").has_value());
+}
+
+TEST_F(DiskCacheTest, EraseRemovesEntry) {
+  DiskCache cache(dir_.string());
+  cache.put("key", {1.0f});
+  cache.erase("key");
+  EXPECT_FALSE(cache.contains("key"));
+}
+
+TEST_F(DiskCacheTest, DistinctKeysDistinctEntries) {
+  DiskCache cache(dir_.string());
+  cache.put("a", {1.0f});
+  cache.put("b", {2.0f});
+  EXPECT_EQ((*cache.get("a"))[0], 1.0f);
+  EXPECT_EQ((*cache.get("b"))[0], 2.0f);
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--name=test"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(args.get("name", ""), "test");
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--epochs", "12"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("epochs", 0), 12);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(CliArgs, PositionalPreserved) {
+  const char* argv[] = {"prog", "input.bin", "--x=1", "output.bin"};
+  CliArgs args(4, const_cast<char**>(argv));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.bin");
+  EXPECT_EQ(args.positional()[1], "output.bin");
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get("missing", "def"), "def");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace nshd::util
