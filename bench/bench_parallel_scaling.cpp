@@ -1,0 +1,152 @@
+// Thread-pool scaling of the three hot kernels: GEMM, batch HD encoding,
+// and classifier similarity search.
+//
+// Reports wall-clock speedup at 1/2/4/8 threads (configurable via
+// --threads=a,b,c) against the serial baseline, and cross-checks that the
+// outputs are bitwise identical at every pool size — the fixed-chunk
+// determinism contract of util::parallel_for.  Run on a multi-core host;
+// a single-core container will report ~1x across the board.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hd/classifier.hpp"
+#include "hd/hypervector.hpp"
+#include "hd/projection.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/tensor.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace nshd;
+
+std::vector<int> threads_from_args(const util::CliArgs& args) {
+  std::vector<int> out;
+  std::string csv = args.get("threads", "1,2,4,8");
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t next = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (!token.empty()) {
+      try {
+        out.push_back(std::stoi(token));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "ignoring non-numeric --threads token \"%s\"\n", token.c_str());
+      }
+    }
+    pos = next == std::string::npos ? csv.size() : next + 1;
+  }
+  return out;
+}
+
+/// Times fn() over `reps` repetitions and returns seconds per repetition.
+template <typename Fn>
+double time_reps(int reps, Fn&& fn) {
+  util::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) fn();
+  return watch.seconds() / reps;
+}
+
+/// FNV-1a over raw bytes, for the bitwise cross-check between pool sizes.
+std::uint64_t checksum_bytes(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::vector<int> thread_counts = threads_from_args(args);
+  const int reps = args.get_int("reps", 3);
+
+  // GEMM workload: a conv-sized multiply.
+  const std::int64_t m = args.get_int("gemm_m", 256);
+  const std::int64_t k = args.get_int("gemm_k", 512);
+  const std::int64_t n = args.get_int("gemm_n", 256);
+  util::Rng rng(1);
+  tensor::Tensor a(tensor::Shape{m, k}), b(tensor::Shape{k, n}), c(tensor::Shape{m, n});
+  for (float& x : a.span()) x = rng.normal();
+  for (float& x : b.span()) x = rng.normal();
+
+  // HD encode workload: a batch through a paper-sized projection.
+  const std::int64_t dim = args.get_int("dim", 3000);
+  const std::int64_t features = args.get_int("features", 100);
+  const std::int64_t batch = args.get_int("batch", 64);
+  hd::RandomProjection proj(dim, features, rng);
+  std::vector<tensor::Tensor> samples;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    tensor::Tensor v(tensor::Shape{features});
+    for (float& x : v.span()) x = rng.normal();
+    samples.push_back(std::move(v));
+  }
+
+  // Classifier search workload: evaluate a labeled set against a bank.
+  const std::int64_t classes = args.get_int("classes", 20);
+  hd::HdClassifier clf(classes, dim);
+  std::vector<hd::Hypervector> queries;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 200; ++i) {
+    queries.push_back(hd::Hypervector::random(dim, rng));
+    labels.push_back(i % classes);
+  }
+  clf.bundle_init(queries, labels);
+
+  util::Table table({"threads", "gemm ms", "gemm speedup", "encode ms",
+                     "encode speedup", "search ms", "search speedup"});
+  double gemm_base = 0.0, encode_base = 0.0, search_base = 0.0;
+  std::uint64_t gemm_sum = 0, encode_sum = 0;
+  double search_ref = 0.0;
+  for (const int threads : thread_counts) {
+    util::set_thread_count(threads);
+
+    const double gemm_s = time_reps(reps, [&] {
+      tensor::gemm(a.data(), b.data(), c.data(), m, k, n);
+    });
+    std::vector<hd::Hypervector> encoded;
+    const double encode_s = time_reps(reps, [&] { encoded = proj.encode_all(samples); });
+    double acc = 0.0;
+    const double search_s = time_reps(reps, [&] { acc = clf.evaluate(queries, labels); });
+
+    // Determinism cross-check against the first (serial) run.
+    const std::uint64_t g_sum =
+        checksum_bytes(c.data(), static_cast<std::size_t>(c.numel()) * sizeof(float));
+    std::uint64_t e_sum = 0xcbf29ce484222325ULL;
+    for (const auto& h : encoded)
+      e_sum ^= checksum_bytes(h.words(), h.word_count() * sizeof(std::uint64_t));
+    if (gemm_base == 0.0) {
+      gemm_base = gemm_s;
+      encode_base = encode_s;
+      search_base = search_s;
+      gemm_sum = g_sum;
+      encode_sum = e_sum;
+      search_ref = acc;
+    } else if (g_sum != gemm_sum || e_sum != encode_sum || acc != search_ref) {
+      std::fprintf(stderr, "FATAL: results differ at %d threads\n", threads);
+      return 1;
+    }
+
+    table.add_row({util::cell(threads), util::cell(gemm_s * 1e3, 2),
+                   util::cell(gemm_base / gemm_s, 2) + "x",
+                   util::cell(encode_s * 1e3, 2),
+                   util::cell(encode_base / encode_s, 2) + "x",
+                   util::cell(search_s * 1e3, 2),
+                   util::cell(search_base / search_s, 2) + "x"});
+  }
+  std::printf("\n== parallel scaling (bitwise-identical outputs verified) ==\n%s",
+              table.to_string().c_str());
+  return 0;
+}

@@ -6,28 +6,42 @@
 #include <limits>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace nshd::analysis {
 
 namespace {
+
+// Rows per parallel chunk for the O(N^2) passes.  Small and fixed: the
+// upper-triangle loops shrink with the row index, so fine chunks level the
+// load, and a constant grain keeps chunk boundaries — and every float —
+// independent of the thread count.
+constexpr std::int64_t kRowGrain = 4;
 
 /// Squared Euclidean distance matrix [N, N].
 std::vector<double> pairwise_sq_distances(const tensor::Tensor& points) {
   const std::int64_t n = points.shape()[0];
   const std::int64_t f = points.shape()[1];
   std::vector<double> d2(static_cast<std::size_t>(n * n), 0.0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* pi = points.data() + i * f;
-    for (std::int64_t j = i + 1; j < n; ++j) {
-      const float* pj = points.data() + j * f;
-      double acc = 0.0;
-      for (std::int64_t k = 0; k < f; ++k) {
-        const double diff = static_cast<double>(pi[k]) - pj[k];
-        acc += diff * diff;
+  // Each chunk fills the upper triangle of its own rows (disjoint writes);
+  // the symmetric lower triangle is mirrored serially afterwards.
+  util::parallel_for(0, n, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* pi = points.data() + i * f;
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const float* pj = points.data() + j * f;
+        double acc = 0.0;
+        for (std::int64_t k = 0; k < f; ++k) {
+          const double diff = static_cast<double>(pi[k]) - pj[k];
+          acc += diff * diff;
+        }
+        d2[static_cast<std::size_t>(i * n + j)] = acc;
       }
-      d2[static_cast<std::size_t>(i * n + j)] = acc;
-      d2[static_cast<std::size_t>(j * n + i)] = acc;
     }
-  }
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i + 1; j < n; ++j)
+      d2[static_cast<std::size_t>(j * n + i)] = d2[static_cast<std::size_t>(i * n + j)];
   return d2;
 }
 
@@ -113,35 +127,50 @@ tensor::Tensor tsne(const tensor::Tensor& points, const TsneConfig& config) {
                                 ? config.momentum_initial
                                 : config.momentum_final;
 
-    // Student-t affinities Q (unnormalized) and their sum.
+    // Student-t affinities Q (unnormalized) and their sum.  Each chunk
+    // fills the upper triangle of its rows and reports a partial sum;
+    // partials are reduced in chunk-index order so q_sum is the same
+    // double for every thread count.
+    const std::int64_t q_chunks = util::chunk_count(0, n, kRowGrain);
+    std::vector<double> q_partial(static_cast<std::size_t>(q_chunks), 0.0);
+    util::parallel_for_chunks(
+        0, n, kRowGrain,
+        [&](std::int64_t chunk, std::int64_t r0, std::int64_t r1) {
+          double local = 0.0;
+          for (std::int64_t i = r0; i < r1; ++i) {
+            for (std::int64_t j = i + 1; j < n; ++j) {
+              const double dy0 = static_cast<double>(y.at(i, 0)) - y.at(j, 0);
+              const double dy1 = static_cast<double>(y.at(i, 1)) - y.at(j, 1);
+              const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+              q[static_cast<std::size_t>(i * n + j)] = w;
+              local += 2.0 * w;
+            }
+          }
+          q_partial[static_cast<std::size_t>(chunk)] = local;
+        });
     double q_sum = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = i + 1; j < n; ++j) {
-        const double dy0 = static_cast<double>(y.at(i, 0)) - y.at(j, 0);
-        const double dy1 = static_cast<double>(y.at(i, 1)) - y.at(j, 1);
-        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
-        q[static_cast<std::size_t>(i * n + j)] = w;
-        q[static_cast<std::size_t>(j * n + i)] = w;
-        q_sum += 2.0 * w;
-      }
-      q[static_cast<std::size_t>(i * n + i)] = 0.0;
-    }
+    for (const double part : q_partial) q_sum += part;
     q_sum = std::max(q_sum, 1e-12);
 
+    // Gradient rows are independent; only the upper triangle of q is
+    // valid, so the (i, j) weight is read at (min, max).
     std::fill(gradient.begin(), gradient.end(), 0.0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double w = q[static_cast<std::size_t>(i * n + j)];
-        const double q_ij = std::max(w / q_sum, 1e-12);
-        const double mult =
-            (exaggeration * p[static_cast<std::size_t>(i * n + j)] - q_ij) * w;
-        gradient[static_cast<std::size_t>(i * 2 + 0)] +=
-            4.0 * mult * (static_cast<double>(y.at(i, 0)) - y.at(j, 0));
-        gradient[static_cast<std::size_t>(i * 2 + 1)] +=
-            4.0 * mult * (static_cast<double>(y.at(i, 1)) - y.at(j, 1));
+    util::parallel_for(0, n, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t i = r0; i < r1; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double w = i < j ? q[static_cast<std::size_t>(i * n + j)]
+                                 : q[static_cast<std::size_t>(j * n + i)];
+          const double q_ij = std::max(w / q_sum, 1e-12);
+          const double mult =
+              (exaggeration * p[static_cast<std::size_t>(i * n + j)] - q_ij) * w;
+          gradient[static_cast<std::size_t>(i * 2 + 0)] +=
+              4.0 * mult * (static_cast<double>(y.at(i, 0)) - y.at(j, 0));
+          gradient[static_cast<std::size_t>(i * 2 + 1)] +=
+              4.0 * mult * (static_cast<double>(y.at(i, 1)) - y.at(j, 1));
+        }
       }
-    }
+    });
 
     for (std::int64_t i = 0; i < n; ++i) {
       for (int d = 0; d < 2; ++d) {

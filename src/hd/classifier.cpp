@@ -4,22 +4,35 @@
 #include <cmath>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::hd {
+
+namespace {
+// Fixed parallel grains: classes per chunk for bank scans, samples per
+// chunk for evaluation.  Constants, so partitioning never depends on the
+// thread count and results are identical for any NSHD_THREADS.
+constexpr std::int64_t kClassGrain = 1;
+constexpr std::int64_t kSampleGrain = 8;
+}  // namespace
 
 HdClassifier::HdClassifier(std::int64_t num_classes, std::int64_t dim)
     : num_classes_(num_classes),
       dim_(dim),
       bank_(tensor::Shape{num_classes, dim}),
-      norms_(static_cast<std::size_t>(num_classes), 0.0f) {}
+      norms_(static_cast<std::size_t>(num_classes), 0.0f),
+      norm_sq_(static_cast<std::size_t>(num_classes), 0.0) {}
 
 void HdClassifier::refresh_norms() const {
-  for (std::int64_t c = 0; c < num_classes_; ++c) {
-    const float* row = class_vector(c);
-    double sq = 0.0;
-    for (std::int64_t d = 0; d < dim_; ++d) sq += static_cast<double>(row[d]) * row[d];
-    norms_[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(sq));
-  }
+  util::parallel_for(0, num_classes_, kClassGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t c = b; c < e; ++c) {
+      const float* row = class_vector(c);
+      double sq = 0.0;
+      for (std::int64_t d = 0; d < dim_; ++d) sq += static_cast<double>(row[d]) * row[d];
+      norm_sq_[static_cast<std::size_t>(c)] = sq;
+      norms_[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(sq));
+    }
+  });
   norms_valid_ = true;
 }
 
@@ -43,6 +56,7 @@ std::int64_t HdClassifier::add_class(const std::vector<Hypervector>& samples) {
   bank_ = std::move(grown);
   ++num_classes_;
   norms_.push_back(0.0f);
+  norm_sq_.push_back(0.0);
   for (const Hypervector& h : samples) {
     assert(h.dim() == dim_);
     axpy(class_vector(new_index), 1.0f, h);
@@ -51,23 +65,39 @@ std::int64_t HdClassifier::add_class(const std::vector<Hypervector>& samples) {
   return new_index;
 }
 
-std::vector<float> HdClassifier::similarities(const Hypervector& query,
-                                              Similarity metric) const {
+std::vector<double> HdClassifier::raw_dots(const Hypervector& query) const {
   assert(query.dim() == dim_);
+  std::vector<double> raw(static_cast<std::size_t>(num_classes_));
+  util::parallel_for(0, num_classes_, kClassGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t c = b; c < e; ++c)
+      raw[static_cast<std::size_t>(c)] = dot(class_vector(c), query);
+  });
+  return raw;
+}
+
+std::vector<float> HdClassifier::sims_from_raw(const std::vector<double>& raw,
+                                               Similarity metric) const {
   std::vector<float> sims(static_cast<std::size_t>(num_classes_));
   const double query_norm = std::sqrt(static_cast<double>(dim_));
   if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
   for (std::int64_t c = 0; c < num_classes_; ++c) {
-    const double raw = dot(class_vector(c), query);
     if (metric == Similarity::kDot) {
-      sims[static_cast<std::size_t>(c)] = static_cast<float>(raw / dim_);
+      sims[static_cast<std::size_t>(c)] =
+          static_cast<float>(raw[static_cast<std::size_t>(c)] / dim_);
     } else {
       const double denom =
           std::max(1e-9, static_cast<double>(norms_[static_cast<std::size_t>(c)]) * query_norm);
-      sims[static_cast<std::size_t>(c)] = static_cast<float>(raw / denom);
+      sims[static_cast<std::size_t>(c)] =
+          static_cast<float>(raw[static_cast<std::size_t>(c)] / denom);
     }
   }
   return sims;
+}
+
+std::vector<float> HdClassifier::similarities(const Hypervector& query,
+                                              Similarity metric) const {
+  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  return sims_from_raw(raw_dots(query), metric);
 }
 
 std::int64_t HdClassifier::predict(const Hypervector& query, Similarity metric) const {
@@ -85,7 +115,11 @@ double HdClassifier::mass_epoch(const std::vector<Hypervector>& samples,
   std::int64_t correct = 0;
   std::vector<float> update(static_cast<std::size_t>(num_classes_));
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    const std::vector<float> sims = similarities(samples[i], config.similarity);
+    // The raw dots feed both the similarity vector and the incremental norm
+    // maintenance in apply_update, so the bank is scanned once per sample
+    // instead of once for similarities plus once for refresh_norms.
+    const std::vector<double> raw = raw_dots(samples[i]);
+    const std::vector<float> sims = sims_from_raw(raw, config.similarity);
     std::int64_t best = 0;
     for (std::int64_t c = 1; c < num_classes_; ++c)
       if (sims[static_cast<std::size_t>(c)] > sims[static_cast<std::size_t>(best)]) best = c;
@@ -96,7 +130,7 @@ double HdClassifier::mass_epoch(const std::vector<Hypervector>& samples,
       update[static_cast<std::size_t>(c)] =
           (c == labels[i] ? 1.0f : 0.0f) - sims[static_cast<std::size_t>(c)];
     }
-    apply_update(samples[i], update, config.learning_rate);
+    apply_update(samples[i], update, config.learning_rate, &raw);
   }
   return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
@@ -141,23 +175,58 @@ double HdClassifier::evaluate(const std::vector<Hypervector>& samples,
                               Similarity metric) const {
   assert(samples.size() == labels.size());
   if (samples.empty()) return 0.0;
+  // Refresh norms once up front: the parallel region below must not mutate
+  // the cache from several workers at once.
+  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  const auto n = static_cast<std::int64_t>(samples.size());
+  const std::int64_t chunks = util::chunk_count(0, n, kSampleGrain);
+  std::vector<std::int64_t> chunk_correct(static_cast<std::size_t>(chunks), 0);
+  util::parallel_for_chunks(
+      0, n, kSampleGrain,
+      [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+        std::int64_t local = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          if (predict(samples[static_cast<std::size_t>(i)], metric) ==
+              labels[static_cast<std::size_t>(i)])
+            ++local;
+        }
+        chunk_correct[static_cast<std::size_t>(chunk)] = local;
+      });
   std::int64_t correct = 0;
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (predict(samples[i], metric) == labels[i]) ++correct;
-  }
+  for (const std::int64_t c : chunk_correct) correct += c;
   return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
 
 void HdClassifier::apply_update(const Hypervector& sample,
                                 const std::vector<float>& update,
-                                float learning_rate) {
+                                float learning_rate,
+                                const std::vector<double>* raw_dots) {
   assert(static_cast<std::int64_t>(update.size()) == num_classes_);
-  for (std::int64_t c = 0; c < num_classes_; ++c) {
-    const float u = update[static_cast<std::size_t>(c)];
-    if (u == 0.0f) continue;
-    axpy(class_vector(c), learning_rate * u, sample);
-  }
-  norms_valid_ = false;
+  assert(raw_dots == nullptr ||
+         static_cast<std::int64_t>(raw_dots->size()) == num_classes_);
+  const bool track_norms = norms_valid_;
+  util::parallel_for(0, num_classes_, kClassGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t c = b; c < e; ++c) {
+      const float u = update[static_cast<std::size_t>(c)];
+      if (u == 0.0f) continue;
+      const float alpha = learning_rate * u;
+      if (track_norms) {
+        // ||C + aH||^2 = ||C||^2 + 2a C.H + a^2 ||H||^2, with ||H||^2 = D
+        // for bipolar H — so the norm cache survives the update without an
+        // O(K*D) refresh per query.
+        const double before = raw_dots != nullptr
+                                  ? (*raw_dots)[static_cast<std::size_t>(c)]
+                                  : dot(class_vector(c), sample);
+        double sq = norm_sq_[static_cast<std::size_t>(c)] +
+                    2.0 * alpha * before +
+                    static_cast<double>(alpha) * alpha * static_cast<double>(dim_);
+        sq = std::max(sq, 0.0);
+        norm_sq_[static_cast<std::size_t>(c)] = sq;
+        norms_[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(sq));
+      }
+      axpy(class_vector(c), alpha, sample);
+    }
+  });
 }
 
 tensor::Tensor HdClassifier::query_gradient(const std::vector<float>& update) const {
@@ -194,10 +263,22 @@ double HdClassifier::evaluate_quantized(const std::vector<Hypervector>& samples,
   assert(samples.size() == labels.size());
   if (samples.empty()) return 0.0;
   const std::vector<Hypervector> quantized = quantized_classes();
+  const auto n = static_cast<std::int64_t>(samples.size());
+  const std::int64_t chunks = util::chunk_count(0, n, kSampleGrain);
+  std::vector<std::int64_t> chunk_correct(static_cast<std::size_t>(chunks), 0);
+  util::parallel_for_chunks(
+      0, n, kSampleGrain,
+      [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+        std::int64_t local = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          if (predict_quantized(quantized, samples[static_cast<std::size_t>(i)]) ==
+              labels[static_cast<std::size_t>(i)])
+            ++local;
+        }
+        chunk_correct[static_cast<std::size_t>(chunk)] = local;
+      });
   std::int64_t correct = 0;
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (predict_quantized(quantized, samples[i]) == labels[i]) ++correct;
-  }
+  for (const std::int64_t c : chunk_correct) correct += c;
   return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
 

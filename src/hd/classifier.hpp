@@ -77,8 +77,22 @@ class HdClassifier {
 
   /// Applies M += lr * u^T (outer) H for one sample given its update vector
   /// u (length K).  Exposed for the knowledge-distillation trainer.
+  /// Cached cosine norms are maintained incrementally (||C + aH||^2 =
+  /// ||C||^2 + 2a C.H + a^2 D) instead of being invalidated; when the
+  /// caller already knows the raw dot products C_c . H (mass_epoch does,
+  /// from the similarity pass) it passes them via `raw_dots` to skip the
+  /// recomputation.
   void apply_update(const Hypervector& sample, const std::vector<float>& update,
-                    float learning_rate);
+                    float learning_rate,
+                    const std::vector<double>* raw_dots = nullptr);
+
+  /// Cached per-class L2 norms (refreshed if stale).  Exposed so tests can
+  /// assert the incremental maintenance in apply_update() matches a full
+  /// recompute.
+  const std::vector<float>& class_norms() const {
+    if (!norms_valid_) refresh_norms();
+    return norms_;
+  }
 
   /// Gradient of the loss with respect to the query hypervector under the
   /// update vector u: g_h[d] = -sum_i u_i * M[i][d] / normalizer_i.  Used by
@@ -106,10 +120,16 @@ class HdClassifier {
 
  private:
   std::int64_t num_classes_, dim_;
-  tensor::Tensor bank_;                // [K, D]
-  mutable std::vector<float> norms_;   // cached L2 norms per class
+  tensor::Tensor bank_;                 // [K, D]
+  mutable std::vector<float> norms_;    // cached L2 norms per class
+  mutable std::vector<double> norm_sq_; // squared norms, double to bound drift
   mutable bool norms_valid_ = false;
   void refresh_norms() const;
+  /// Raw per-class dot products M . H (class-parallel).
+  std::vector<double> raw_dots(const Hypervector& query) const;
+  /// Similarity vector from raw dots; refreshes norms first for cosine.
+  std::vector<float> sims_from_raw(const std::vector<double>& raw,
+                                   Similarity metric) const;
 };
 
 }  // namespace nshd::hd

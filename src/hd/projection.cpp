@@ -2,7 +2,19 @@
 
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace nshd::hd {
+
+namespace {
+// Fixed parallel grains (rows of P for project, 64-feature words for
+// decode, samples for encode_all).  Constants — never thread-count
+// dependent — so the chunking and therefore every float is identical for
+// any NSHD_THREADS value.
+constexpr std::int64_t kRowGrain = 64;
+constexpr std::int64_t kWordGrain = 1;
+constexpr std::int64_t kSampleGrain = 1;
+}  // namespace
 
 RandomProjection::RandomProjection(std::int64_t dim, std::int64_t features,
                                    util::Rng& rng)
@@ -26,20 +38,25 @@ tensor::Tensor RandomProjection::project(const float* v) const {
   double total = 0.0;
   for (std::int64_t i = 0; i < features_; ++i) total += v[i];
 
-  for (std::int64_t r = 0; r < dim_; ++r) {
-    const std::uint64_t* row = bits_.data() + r * words_per_row_;
-    double pos = 0.0;
-    for (std::int64_t w = 0; w < words_per_row_; ++w) {
-      std::uint64_t bits = row[w];
-      const std::int64_t base = w << 6;
-      while (bits != 0) {
-        const int b = std::countr_zero(bits);
-        pos += v[base + b];
-        bits &= bits - 1;
+  // Rows are independent (disjoint writes into z), so chunks of rows
+  // parallelize without changing any accumulation order.
+  float* out = z.data();
+  util::parallel_for(0, dim_, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::uint64_t* row = bits_.data() + r * words_per_row_;
+      double pos = 0.0;
+      for (std::int64_t w = 0; w < words_per_row_; ++w) {
+        std::uint64_t bits = row[w];
+        const std::int64_t base = w << 6;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          pos += v[base + b];
+          bits &= bits - 1;
+        }
       }
+      out[r] = static_cast<float>(2.0 * pos - total);
     }
-    z[r] = static_cast<float>(2.0 * pos - total);
-  }
+  });
   return z;
 }
 
@@ -65,6 +82,23 @@ Hypervector RandomProjection::encode(const tensor::Tensor& v,
   return Hypervector::from_sign(pre_sign);
 }
 
+std::vector<Hypervector> RandomProjection::encode_all(
+    const std::vector<tensor::Tensor>& batch) const {
+  std::vector<Hypervector> out(batch.size());
+  // Samples are independent; the nested project() inside encode() runs
+  // inline on whichever worker owns the sample chunk.
+  util::parallel_for(
+      0, static_cast<std::int64_t>(batch.size()), kSampleGrain,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          assert(batch[static_cast<std::size_t>(i)].numel() == features_);
+          out[static_cast<std::size_t>(i)] =
+              encode(batch[static_cast<std::size_t>(i)].data());
+        }
+      });
+  return out;
+}
+
 tensor::Tensor RandomProjection::decode(const tensor::Tensor& g_h) const {
   assert(g_h.numel() == dim_);
   tensor::Tensor g_v(tensor::Shape{features_});
@@ -72,20 +106,27 @@ tensor::Tensor RandomProjection::decode(const tensor::Tensor& g_h) const {
   // only set bits need visiting.
   double total = 0.0;
   for (std::int64_t r = 0; r < dim_; ++r) total += g_h[r];
-  for (std::int64_t r = 0; r < dim_; ++r) {
-    const float g = g_h[r];
-    if (g == 0.0f) continue;
-    const std::uint64_t* row = bits_.data() + r * words_per_row_;
-    for (std::int64_t w = 0; w < words_per_row_; ++w) {
-      std::uint64_t bits = row[w];
-      const std::int64_t base = w << 6;
-      while (bits != 0) {
-        const int b = std::countr_zero(bits);
-        g_v[base + b] += g;
-        bits &= bits - 1;
-      }
-    }
-  }
+  // Parallel over 64-feature words: each chunk owns a disjoint feature
+  // range and walks rows in full order, so per-feature accumulation order
+  // matches the serial kernel exactly.
+  float* out = g_v.data();
+  util::parallel_for(
+      0, words_per_row_, kWordGrain, [&](std::int64_t w0, std::int64_t w1) {
+        for (std::int64_t r = 0; r < dim_; ++r) {
+          const float g = g_h[r];
+          if (g == 0.0f) continue;
+          const std::uint64_t* row = bits_.data() + r * words_per_row_;
+          for (std::int64_t w = w0; w < w1; ++w) {
+            std::uint64_t bits = row[w];
+            const std::int64_t base = w << 6;
+            while (bits != 0) {
+              const int b = std::countr_zero(bits);
+              out[base + b] += g;
+              bits &= bits - 1;
+            }
+          }
+        }
+      });
   const auto t = static_cast<float>(total);
   for (std::int64_t i = 0; i < features_; ++i) g_v[i] = 2.0f * g_v[i] - t;
   return g_v;

@@ -36,6 +36,10 @@ class RandomProjection {
   /// Encode and also return the pre-sign activations in `pre_sign`.
   Hypervector encode(const tensor::Tensor& v, tensor::Tensor& pre_sign) const;
 
+  /// Batch encoding, sample-parallel over the shared thread pool; result i
+  /// is bitwise identical to encode(batch[i]) for any NSHD_THREADS.
+  std::vector<Hypervector> encode_all(const std::vector<tensor::Tensor>& batch) const;
+
   /// Decode / adjoint: g_v = P^T . g_h (length features).
   tensor::Tensor decode(const tensor::Tensor& g_h) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/thread_pool.hpp"
+
 namespace nshd::tensor {
 
 namespace {
@@ -10,59 +12,73 @@ namespace {
 // depend on them.
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockK = 256;
+// Rows of C per parallel chunk.  Fixed (never derived from the thread
+// count) so the partitioning — and with it every float — is identical for
+// any NSHD_THREADS value.  Each chunk owns a disjoint row range of C.
+constexpr std::int64_t kRowGrain = 16;
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::int64_t p1 = std::min(p0 + kBlockK, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* ci = c + i * n;
-        const float* ai = a + i * k;
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const float aip = ai[p];
-          if (aip == 0.0f) continue;
-          const float* bp = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    if (!accumulate)
+      std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
+    for (std::int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, r1);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::int64_t p1 = std::min(p0 + kBlockK, k);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* ci = c + i * n;
+          const float* ai = a + i * k;
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const float aip = ai[p];
+            if (aip == 0.0f) continue;
+            const float* bp = b + p * n;
+            for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+          }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate) {
   // C[i,j] = sum_p A[i,p] * B[j,p]: rows of both operands are contiguous, so
   // a straight dot-product loop is cache-friendly.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      float sum = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
-      ci[j] = accumulate ? ci[j] + sum : sum;
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        float sum = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+        ci[j] = accumulate ? ci[j] + sum : sum;
+      }
     }
-  }
+  });
 }
 
 void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate) {
-  // C[i,j] = sum_p A[p,i] * B[p,j].
-  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* ap = a + p * m;
-    const float* bp = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float api = ap[i];
-      if (api == 0.0f) continue;
-      float* ci = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+  // C[i,j] = sum_p A[p,i] * B[p,j].  Each chunk owns a row range of C and
+  // walks p in full order, so per-element accumulation order matches the
+  // serial kernel exactly.
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    if (!accumulate)
+      std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* ap = a + p * m;
+      const float* bp = b + p * n;
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float api = ap[i];
+        if (api == 0.0f) continue;
+        float* ci = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
     }
-  }
+  });
 }
 
 void gemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {

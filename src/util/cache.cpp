@@ -1,13 +1,43 @@
 #include "util/cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include <unistd.h>
 
 #include "util/log.hpp"
 
 namespace nshd::util {
+
+namespace {
+
+// Entry layout: magic, key length, full key bytes, float payload.  The
+// stored key is verified on read, so an fnv1a64 collision (two keys, one
+// file name) degrades to a cache miss instead of silently returning the
+// other key's blob.  Headerless files from the pre-header format fail the
+// magic check and are likewise treated as misses.
+constexpr char kMagic[8] = {'N', 'S', 'H', 'D', 'C', 'v', '1', '\n'};
+
+/// Reads and checks the header; returns the payload offset in bytes, or -1
+/// if the entry is legacy/corrupt or stores a different (colliding) key.
+std::int64_t verify_header(std::ifstream& in, const std::string& key) {
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return -1;
+  std::uint64_t key_size = 0;
+  in.read(reinterpret_cast<char*>(&key_size), sizeof key_size);
+  if (!in || key_size != key.size()) return -1;
+  std::string stored(key.size(), '\0');
+  in.read(stored.data(), static_cast<std::streamsize>(stored.size()));
+  if (!in || stored != key) return -1;
+  return static_cast<std::int64_t>(sizeof kMagic + sizeof key_size + key_size);
+}
+
+}  // namespace
 
 std::uint64_t fnv1a64(const std::string& text) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -32,14 +62,20 @@ std::optional<std::vector<float>> DiskCache::get(const std::string& key) const {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   in.seekg(0, std::ios::end);
-  const auto bytes = static_cast<std::size_t>(in.tellg());
+  const auto bytes = static_cast<std::int64_t>(in.tellg());
   in.seekg(0, std::ios::beg);
-  if (bytes % sizeof(float) != 0) {
+  const std::int64_t payload_offset = verify_header(in, key);
+  if (payload_offset < 0) {
+    NSHD_LOG_WARN("cache entry %s is legacy/foreign for this key; ignoring", path.c_str());
+    return std::nullopt;
+  }
+  const std::int64_t payload = bytes - payload_offset;
+  if (payload < 0 || payload % static_cast<std::int64_t>(sizeof(float)) != 0) {
     NSHD_LOG_WARN("cache entry %s has odd size; ignoring", path.c_str());
     return std::nullopt;
   }
-  std::vector<float> blob(bytes / sizeof(float));
-  in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(bytes));
+  std::vector<float> blob(static_cast<std::size_t>(payload) / sizeof(float));
+  in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(payload));
   if (!in) return std::nullopt;
   return blob;
 }
@@ -47,9 +83,18 @@ std::optional<std::vector<float>> DiskCache::get(const std::string& key) const {
 void DiskCache::put(const std::string& key, const std::vector<float>& blob) const {
   std::filesystem::create_directories(dir_);
   const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
+  // Unique staging name per writer: concurrent processes (or threads) that
+  // put under the same hash must not clobber each other's half-written
+  // temp file before the atomic rename.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const std::uint64_t key_size = key.size();
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char*>(&key_size), sizeof key_size);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(blob.size() * sizeof(float)));
     if (!out) {
@@ -63,7 +108,11 @@ void DiskCache::put(const std::string& key, const std::vector<float>& blob) cons
 }
 
 bool DiskCache::contains(const std::string& key) const {
-  return std::filesystem::exists(path_for(key));
+  // Must verify the stored key, not just file existence: a colliding or
+  // legacy entry under this hash is not a hit.
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return false;
+  return verify_header(in, key) >= 0;
 }
 
 void DiskCache::erase(const std::string& key) const {

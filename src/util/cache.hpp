@@ -18,6 +18,10 @@ namespace nshd::util {
 std::uint64_t fnv1a64(const std::string& text);
 
 /// A flat binary blob cache: key -> file `<dir>/<hash(key)>.bin`.
+///
+/// Entries carry a header (magic, key length, full key bytes) ahead of the
+/// payload; get()/contains() verify the stored key so a hash collision or a
+/// legacy headerless file reads as a miss, never as another key's blob.
 class DiskCache {
  public:
   /// `dir` is created on first put() if it does not exist.
@@ -26,7 +30,8 @@ class DiskCache {
   /// Returns the blob if present, std::nullopt otherwise.
   std::optional<std::vector<float>> get(const std::string& key) const;
 
-  /// Writes (atomically via rename) the blob for `key`.
+  /// Writes (atomically via rename, staged under a per-writer unique temp
+  /// name so concurrent puts cannot corrupt each other) the blob for `key`.
   void put(const std::string& key, const std::vector<float>& blob) const;
 
   bool contains(const std::string& key) const;

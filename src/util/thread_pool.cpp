@@ -1,0 +1,174 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace nshd::util {
+
+namespace {
+
+// Set while a thread is executing chunks, so nested parallel_for calls
+// (e.g. encode_all -> project) run inline instead of deadlocking on the
+// pool they are already inside of.
+thread_local bool t_in_worker = false;
+
+int env_thread_count() {
+  if (const char* env = std::getenv("NSHD_THREADS"); env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(std::min(parsed, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+// One parallel_for invocation.  Heap-allocated and shared so a worker that
+// wakes late can only ever touch the job it snapshotted under the mutex;
+// over-claiming on a finished job is harmless (the claim check fails).
+struct ThreadPool::Job {
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn;
+  std::int64_t begin, end, grain, chunks;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> pending;
+
+  Job(const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& f,
+      std::int64_t b, std::int64_t e, std::int64_t g, std::int64_t c)
+      : fn(&f), begin(b), end(e), grain(g), chunks(c), pending(c) {}
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(env_thread_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  spawn_workers();
+}
+
+ThreadPool::~ThreadPool() { join_workers(); }
+
+void ThreadPool::spawn_workers() {
+  // The caller participates in every job, so only threads_-1 workers.
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::join_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+}
+
+void ThreadPool::resize(int threads) {
+  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  threads = std::max(1, threads);
+  if (threads == threads_) return;
+  join_workers();
+  threads_ = threads;
+  spawn_workers();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    if (job) run_job(*job);
+  }
+}
+
+void ThreadPool::run_job(Job& job) {
+  t_in_worker = true;
+  for (;;) {
+    const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.chunks) break;
+    const std::int64_t b = job.begin + i * job.grain;
+    const std::int64_t e = std::min(b + job.grain, job.end);
+    (*job.fn)(i, b, e);
+    if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+  t_in_worker = false;
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = chunk_count(begin, end, grain);
+  // Serial path: pool of one, a single chunk, or a nested call from inside
+  // a worker (the outer job already owns the pool).
+  if (threads_ <= 1 || chunks <= 1 || t_in_worker) {
+    const bool was_worker = t_in_worker;
+    t_in_worker = true;  // anything nested below stays inline too
+    for (std::int64_t i = 0; i < chunks; ++i) {
+      const std::int64_t b = begin + i * grain;
+      fn(i, b, std::min(b + grain, end));
+    }
+    t_in_worker = was_worker;
+    return;
+  }
+
+  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  auto job = std::make_shared<Job>(fn, begin, end, grain, chunks);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_job(*job);  // the caller is worker #0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->pending.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&fn](std::int64_t, std::int64_t b, std::int64_t e) { fn(b, e); });
+}
+
+int thread_count() { return ThreadPool::instance().threads(); }
+
+void set_thread_count(int threads) { ThreadPool::instance().resize(threads); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for_chunks(begin, end, grain, fn);
+}
+
+}  // namespace nshd::util

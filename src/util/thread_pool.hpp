@@ -1,0 +1,100 @@
+// Shared thread pool with a deterministic parallel-for primitive.
+//
+// Every parallel kernel in the repo (GEMM rows, projection dimensions,
+// classifier queries, t-SNE pairs) routes through parallel_for() here.  The
+// iteration space [begin, end) is split into fixed chunks of `grain`
+// iterations — a function of the *work*, never of the pool size — and
+// workers claim whole chunks.  Kernels either write disjoint outputs per
+// chunk or reduce per-chunk partials in chunk-index order, so results are
+// bitwise identical for any thread count, including 1.  That keeps the
+// paper's accuracy numbers untouched while the wall clock scales.
+//
+// The global pool is created lazily on first use.  Its size comes from the
+// NSHD_THREADS environment variable (default: hardware_concurrency; 1
+// disables threading entirely and runs every chunk inline on the caller).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nshd::util {
+
+/// Number of fixed chunks parallel_for splits [begin, end) into; depends
+/// only on the range and grain, never on the thread count.
+inline std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
+                                std::int64_t grain) {
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, sized from NSHD_THREADS on first use.
+  static ThreadPool& instance();
+
+  int threads() const { return threads_; }
+
+  /// Re-sizes the pool (joins workers, respawns).  For benches and tests
+  /// that sweep thread counts; must not race with an active parallel_for.
+  void resize(int threads);
+
+  /// Runs fn(chunk_index, chunk_begin, chunk_end) once per fixed chunk.
+  /// Chunks are claimed dynamically but their boundaries are fixed, so a
+  /// kernel whose chunks write disjoint outputs — or that combines
+  /// per-chunk partials in chunk-index order — is deterministic.
+  /// Nested calls from inside a worker run inline on that worker.
+  void parallel_for_chunks(
+      std::int64_t begin, std::int64_t end, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+  /// Convenience wrapper when the chunk index is irrelevant (disjoint
+  /// writes): fn(chunk_begin, chunk_end).
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  ~ThreadPool();
+
+ private:
+  struct Job;
+
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void spawn_workers();
+  void join_workers();
+  void worker_loop();
+  void run_job(Job& job);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                 // guards job_/epoch_/stop_
+  std::condition_variable work_cv_;  // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for job completion
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<Job> job_;  // current job; workers snapshot under mutex_
+
+  std::mutex caller_mutex_;  // serializes concurrent external parallel_for
+};
+
+/// Pool size of the global pool (1 means fully serial).
+int thread_count();
+
+/// Re-sizes the global pool; overrides NSHD_THREADS.  Benches/tests only.
+void set_thread_count(int threads);
+
+/// Free-function forms forwarding to ThreadPool::instance().
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+}  // namespace nshd::util

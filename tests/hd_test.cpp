@@ -11,6 +11,7 @@
 #include "hd/projection.hpp"
 #include "hd/vanilla.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::hd {
 namespace {
@@ -248,6 +249,45 @@ TEST(RandomProjection, PackedBytes) {
   EXPECT_EQ(proj.packed_bytes(), 3000 * 2 * 8);
 }
 
+TEST(RandomProjection, EncodeAllMatchesPerSampleEncode) {
+  util::Rng rng(24);
+  RandomProjection proj(512, 100, rng);
+  util::Rng vr(25);
+  std::vector<tensor::Tensor> batch;
+  for (int i = 0; i < 9; ++i) {
+    tensor::Tensor v(tensor::Shape{100});
+    for (float& x : v.span()) x = vr.normal();
+    batch.push_back(std::move(v));
+  }
+  const std::vector<Hypervector> all = proj.encode_all(batch);
+  ASSERT_EQ(all.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(all[i], proj.encode(batch[i]));
+}
+
+TEST(RandomProjection, ThreadCountDoesNotChangeResults) {
+  // features = 100 is deliberately not divisible by 64, so the padded tail
+  // word is exercised under both pool sizes.
+  util::Rng rng(26);
+  RandomProjection proj(1000, 100, rng);
+  util::Rng vr(27);
+  tensor::Tensor v(tensor::Shape{100}), g(tensor::Shape{1000});
+  for (float& x : v.span()) x = vr.normal();
+  for (float& x : g.span()) x = vr.normal();
+  util::set_thread_count(1);
+  const tensor::Tensor z1 = proj.project(v);
+  const Hypervector h1 = proj.encode(v);
+  const tensor::Tensor d1 = proj.decode(g);
+  util::set_thread_count(8);
+  const tensor::Tensor z8 = proj.project(v);
+  const Hypervector h8 = proj.encode(v);
+  const tensor::Tensor d8 = proj.decode(g);
+  util::set_thread_count(1);
+  for (std::int64_t i = 0; i < 1000; ++i) ASSERT_EQ(z1[i], z8[i]) << "project row " << i;
+  EXPECT_EQ(h1, h8);
+  for (std::int64_t i = 0; i < 100; ++i) ASSERT_EQ(d1[i], d8[i]) << "decode feature " << i;
+}
+
 // --- IdLevelEncoder (VanillaHD) ---
 
 TEST(IdLevel, LevelQuantization) {
@@ -415,6 +455,57 @@ TEST(HdClassifier, QuantizedPredictionAgreesMostly) {
     if (clf.predict(h) == HdClassifier::predict_quantized(quantized, h)) ++agree;
   }
   EXPECT_GT(static_cast<double>(agree) / static_cast<double>(p.test.size()), 0.9);
+}
+
+TEST(HdClassifier, IncrementalNormsMatchFullRecompute) {
+  // apply_update maintains the cosine norm cache incrementally; after full
+  // MASS training the cached norms must agree with a recompute from the
+  // bank (up to float rounding of the bank updates themselves).
+  const ToyProblem p = make_toy(1024, 6, 20, 0.35, 67);
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  MassConfig mass;
+  mass.epochs = 10;
+  clf.train(p.train, p.train_labels, mass);
+  const std::vector<float>& cached = clf.class_norms();
+  ASSERT_EQ(cached.size(), static_cast<std::size_t>(p.classes));
+  for (std::int64_t c = 0; c < p.classes; ++c) {
+    double sq = 0.0;
+    const float* row = clf.class_vector(c);
+    for (std::int64_t d = 0; d < p.dim; ++d)
+      sq += static_cast<double>(row[d]) * row[d];
+    const double expect = std::sqrt(sq);
+    EXPECT_NEAR(cached[static_cast<std::size_t>(c)], expect, 1e-3 * std::max(1.0, expect))
+        << "class " << c;
+  }
+}
+
+TEST(HdClassifier, TrainingAndEvalAreThreadCountInvariant) {
+  const ToyProblem p = make_toy(512, 5, 15, 0.35, 71);
+  auto train_once = [&](int threads) {
+    util::set_thread_count(threads);
+    HdClassifier clf(p.classes, p.dim);
+    MassConfig mass;
+    mass.epochs = 5;
+    clf.train(p.train, p.train_labels, mass);
+    return clf;
+  };
+  const HdClassifier serial = train_once(1);
+  const HdClassifier threaded = train_once(8);
+  // The bank must be bitwise identical: fixed chunking keeps every
+  // accumulation order independent of the pool size.
+  for (std::int64_t i = 0; i < serial.bank().numel(); ++i)
+    ASSERT_EQ(serial.bank()[i], threaded.bank()[i]) << "bank element " << i;
+  util::set_thread_count(8);
+  const double acc8 = serial.evaluate(p.test, p.test_labels);
+  const double accq8 = serial.evaluate_quantized(p.test, p.test_labels);
+  const auto sims8 = serial.similarities(p.test[0], Similarity::kCosine);
+  util::set_thread_count(1);
+  EXPECT_EQ(serial.evaluate(p.test, p.test_labels), acc8);
+  EXPECT_EQ(serial.evaluate_quantized(p.test, p.test_labels), accq8);
+  const auto sims1 = serial.similarities(p.test[0], Similarity::kCosine);
+  ASSERT_EQ(sims1.size(), sims8.size());
+  for (std::size_t c = 0; c < sims1.size(); ++c) EXPECT_EQ(sims1[c], sims8[c]);
 }
 
 TEST(HdClassifier, PerceptronEpochFixesMispredictions) {

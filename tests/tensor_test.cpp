@@ -8,6 +8,7 @@
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::tensor {
 namespace {
@@ -139,6 +140,35 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizes,
                                            std::tuple{17, 31, 13},
                                            std::tuple{64, 70, 65},
                                            std::tuple{5, 300, 7}));
+
+TEST(Gemm, BitwiseIdenticalAcrossThreadCounts) {
+  // The pool's fixed chunking must make every GEMM variant produce the
+  // same floats whether it runs serial or on 8 threads.
+  util::Rng rng(77);
+  const std::int64_t m = 83, k = 57, n = 41;
+  const Tensor a = random_tensor(Shape{m, k}, rng);
+  const Tensor b = random_tensor(Shape{k, n}, rng);
+  const Tensor bt = random_tensor(Shape{n, k}, rng);
+  const Tensor at = random_tensor(Shape{k, m}, rng);
+  auto run_all = [&] {
+    std::vector<Tensor> out(3, Tensor(Shape{m, n}));
+    gemm(a.data(), b.data(), out[0].data(), m, k, n);
+    gemm_bt(a.data(), bt.data(), out[1].data(), m, k, n);
+    gemm_at(at.data(), b.data(), out[2].data(), m, k, n);
+    return out;
+  };
+  util::set_thread_count(1);
+  const std::vector<Tensor> serial = run_all();
+  util::set_thread_count(8);
+  const std::vector<Tensor> threaded = run_all();
+  util::set_thread_count(1);
+  for (int v = 0; v < 3; ++v) {
+    for (std::int64_t i = 0; i < serial[v].numel(); ++i)
+      ASSERT_EQ(serial[static_cast<std::size_t>(v)][i],
+                threaded[static_cast<std::size_t>(v)][i])
+          << "variant " << v << " at " << i;
+  }
+}
 
 TEST(Gemm, AccumulateAddsToExisting) {
   util::Rng rng(3);

@@ -1,14 +1,19 @@
-// Tests for src/util: rng, table formatting, cache, cli parsing.
+// Tests for src/util: rng, table formatting, cache, cli parsing, thread pool.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "util/cache.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::util {
 namespace {
@@ -198,6 +203,159 @@ TEST_F(DiskCacheTest, DistinctKeysDistinctEntries) {
   cache.put("b", {2.0f});
   EXPECT_EQ((*cache.get("a"))[0], 1.0f);
   EXPECT_EQ((*cache.get("b"))[0], 2.0f);
+}
+
+namespace {
+/// The on-disk slot a key hashes to (mirrors DiskCache::path_for).
+std::filesystem::path slot_path(const std::filesystem::path& dir, const std::string& key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return dir / (std::string(buf) + ".bin");
+}
+}  // namespace
+
+TEST_F(DiskCacheTest, HashCollisionIsAMissNotTheWrongBlob) {
+  DiskCache cache(dir_.string());
+  cache.put("stored-key", {1.0f, 2.0f, 3.0f});
+  // Simulate an fnv1a64 collision: drop the entry written for "stored-key"
+  // into the slot "victim-key" hashes to.  Before the keyed header, get()
+  // would happily return stored-key's blob for victim-key.
+  std::filesystem::copy_file(slot_path(dir_, "stored-key"), slot_path(dir_, "victim-key"));
+  EXPECT_FALSE(cache.get("victim-key").has_value());
+  EXPECT_FALSE(cache.contains("victim-key"));
+  // The real key still round-trips.
+  auto loaded = cache.get("stored-key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST_F(DiskCacheTest, LegacyHeaderlessEntryIsAMiss) {
+  DiskCache cache(dir_.string());
+  // Pre-header format: raw floats, no magic/key.  Must read as a miss, and
+  // a fresh put() must repair the slot.
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(slot_path(dir_, "key"), std::ios::binary);
+    const float legacy[2] = {9.0f, 8.0f};
+    out.write(reinterpret_cast<const char*>(legacy), sizeof legacy);
+  }
+  EXPECT_FALSE(cache.get("key").has_value());
+  EXPECT_FALSE(cache.contains("key"));
+  cache.put("key", {4.0f});
+  auto loaded = cache.get("key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, std::vector<float>{4.0f});
+}
+
+TEST_F(DiskCacheTest, ConcurrentPutsDoNotCorrupt) {
+  DiskCache cache(dir_.string());
+  // Writers hammer one shared key (same value) and one private key each;
+  // unique staging names keep half-written temp files from colliding.
+  const std::vector<float> shared_blob{3.25f, -1.5f};
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::vector<float> mine{static_cast<float>(w), static_cast<float>(w) + 0.5f};
+      for (int round = 0; round < kRounds; ++round) {
+        cache.put("shared", shared_blob);
+        cache.put("private-" + std::to_string(w), mine);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  auto shared = cache.get("shared");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(*shared, shared_blob);
+  for (int w = 0; w < kWriters; ++w) {
+    auto mine = cache.get("private-" + std::to_string(w));
+    ASSERT_TRUE(mine.has_value());
+    EXPECT_EQ(*mine,
+              (std::vector<float>{static_cast<float>(w), static_cast<float>(w) + 0.5f}));
+  }
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  set_thread_count(4);
+  std::vector<std::atomic<int>> hits(1001);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, 1001, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesIgnoreThreadCount) {
+  // The fixed partitioning contract: chunk index/begin/end depend only on
+  // (range, grain), so float reductions over per-chunk partials are
+  // bitwise identical for any pool size.
+  auto chunks_at = [](int threads) {
+    set_thread_count(threads);
+    const std::int64_t n = 103, grain = 9;
+    std::vector<std::array<std::int64_t, 3>> seen(
+        static_cast<std::size_t>(chunk_count(0, n, grain)));
+    parallel_for_chunks(0, n, grain,
+                        [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+                          seen[static_cast<std::size_t>(c)] = {c, b, e};
+                        });
+    return seen;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(8));
+}
+
+TEST(ThreadPool, PartialSumReductionIsDeterministic) {
+  // Awkward float magnitudes; per-chunk partials reduced in index order
+  // must match bitwise across thread counts.
+  const std::int64_t n = 4099, grain = 16;
+  std::vector<float> values(static_cast<std::size_t>(n));
+  Rng rng(99);
+  for (auto& v : values) v = rng.uniform(-1e6f, 1e6f);
+  auto sum_at = [&](int threads) {
+    set_thread_count(threads);
+    std::vector<float> partial(static_cast<std::size_t>(chunk_count(0, n, grain)), 0.0f);
+    parallel_for_chunks(0, n, grain,
+                        [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+                          float local = 0.0f;
+                          for (std::int64_t i = b; i < e; ++i)
+                            local += values[static_cast<std::size_t>(i)];
+                          partial[static_cast<std::size_t>(c)] = local;
+                        });
+    float total = 0.0f;
+    for (const float p : partial) total += p;
+    return total;
+  };
+  const float serial = sum_at(1);
+  EXPECT_EQ(serial, sum_at(2));
+  EXPECT_EQ(serial, sum_at(8));
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  set_thread_count(4);
+  std::atomic<int> total{0};
+  parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      // Nested parallel_for must not deadlock on the outer job's pool.
+      parallel_for(0, 10, 2, [&](std::int64_t nb, std::int64_t ne) {
+        total.fetch_add(static_cast<int>(ne - nb));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, EmptyAndSingleChunkRanges) {
+  set_thread_count(4);
+  int calls = 0;
+  parallel_for(5, 5, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(0, 3, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 3);
+  });
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(CliArgs, ParsesEqualsForm) {
