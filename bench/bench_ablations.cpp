@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       config.dim = dim;
       config.ste = mode;
       const auto run = context.run_nshd(name, cut, config);
-      table.add_row({label, util::cell(run.test_accuracy, 4)});
+      table.add_row({label, bench::run_cell(run)});
     }
     bench::emit("Ablation A: straight-through estimator for sign()", table);
   }

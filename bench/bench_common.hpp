@@ -46,4 +46,22 @@ inline void emit(const std::string& title, const util::Table& table) {
   std::fflush(stdout);
 }
 
+/// Accuracy cell for a sweep row: a failed (model, cut) config renders as
+/// "FAILED" instead of aborting the bench, so one bad cell never costs the
+/// rest of the sweep.
+inline std::string run_cell(const core::ExperimentContext::NshdRun& run,
+                            int precision = 4) {
+  return run.failed ? "FAILED" : util::cell(run.test_accuracy, precision);
+}
+
+/// Accuracy-delta cell (in percentage points) between two runs; "n/a" when
+/// either side failed.
+inline std::string delta_cell(const core::ExperimentContext::NshdRun& lhs,
+                              const core::ExperimentContext::NshdRun& rhs,
+                              int precision = 2) {
+  if (lhs.failed || rhs.failed) return "n/a";
+  return util::cell((lhs.test_accuracy - rhs.test_accuracy) * 100.0, precision) +
+         "pp";
+}
+
 }  // namespace nshd::bench

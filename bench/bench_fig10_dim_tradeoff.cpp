@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
     const double fps = fpga.nshd_fps(
         hw::nshd_census(m, cut, dim, 100, context.num_classes()), cut + 1);
     table.add_row({util::cell(static_cast<int>(dim)),
-                   util::cell(run.test_accuracy, 4),
-                   util::cell((run.test_accuracy - cnn_acc) * 100.0, 2) + "pp",
+                   bench::run_cell(run),
+                   run.failed
+                       ? "n/a"
+                       : util::cell((run.test_accuracy - cnn_acc) * 100.0, 2) + "pp",
                    util::cell(fps, 0),
                    util::cell((1.0 - hd_params(dim) / params_10k) * 100.0, 1) + "%"});
   }

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
       const auto baseline =
           context.run_nshd(name, cut, core::baseline_hd_config(dim));
       table.add_row({models::display_name(name), util::cell(static_cast<int>(cut)),
-                     util::cell(vanilla, 4), util::cell(baseline.test_accuracy, 4),
-                     util::cell(nshd.test_accuracy, 4), util::cell(cnn_acc, 4)});
+                     util::cell(vanilla, 4), bench::run_cell(baseline),
+                     bench::run_cell(nshd), util::cell(cnn_acc, 4)});
     }
   }
   bench::emit("Fig. 7: accuracy comparison on SynthCIFAR-" +

@@ -28,10 +28,8 @@ int main(int argc, char** argv) {
       const auto kd = context.run_nshd(name, cut, with_kd);
       const auto plain = context.run_nshd(name, cut, without_kd);
       table.add_row({util::cell(static_cast<int>(cut)),
-                     util::cell(plain.test_accuracy, 4),
-                     util::cell(kd.test_accuracy, 4),
-                     util::cell((kd.test_accuracy - plain.test_accuracy) * 100.0, 2) + "pp",
-                     util::cell(cnn_acc, 4)});
+                     bench::run_cell(plain), bench::run_cell(kd),
+                     bench::delta_cell(kd, plain), util::cell(cnn_acc, 4)});
     }
     bench::emit("Fig. 8a: KD impact per cut layer (" + models::display_name(name) + ")",
                 table);
@@ -50,9 +48,8 @@ int main(int argc, char** argv) {
       const auto kd = context.run_nshd(name, cut, with_kd);
       const auto plain = context.run_nshd(name, cut, without_kd);
       table.add_row({models::display_name(name), util::cell(static_cast<int>(cut)),
-                     util::cell(plain.test_accuracy, 4),
-                     util::cell(kd.test_accuracy, 4),
-                     util::cell((kd.test_accuracy - plain.test_accuracy) * 100.0, 2) + "pp"});
+                     bench::run_cell(plain), bench::run_cell(kd),
+                     bench::delta_cell(kd, plain)});
     }
     bench::emit("Fig. 8b: KD impact across models (earliest paper cut)", table);
   }

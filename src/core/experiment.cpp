@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <exception>
 
 #include "hd/vanilla.hpp"
 #include "nn/trainer.hpp"
@@ -104,20 +106,36 @@ const ExtractedFeatures& ExperimentContext::test_features(const std::string& nam
 ExperimentContext::NshdRun ExperimentContext::run_nshd(const std::string& name,
                                                        std::size_t cut,
                                                        const NshdConfig& config) {
-  models::ZooModel& m = model(name);
-  const ExtractedFeatures& train_feats = train_features(name, cut);
-  const ExtractedFeatures& test_feats = test_features(name, cut);
-
-  NshdModel nshd(m, cut, config);
-  const tensor::Tensor* logits =
-      config.use_kd ? &teacher_train_logits(name) : nullptr;
-  const NshdTrainStats stats = nshd.train(train_feats, split_.train.labels, logits);
-
   NshdRun run;
-  run.test_accuracy = nshd.evaluate(test_feats, split_.test.labels);
-  run.final_train_accuracy =
-      stats.epoch_train_accuracy.empty() ? 0.0 : stats.epoch_train_accuracy.back();
-  run.train_seconds = stats.seconds;
+  try {
+    models::ZooModel& m = model(name);
+    const ExtractedFeatures& train_feats = train_features(name, cut);
+    const ExtractedFeatures& test_feats = test_features(name, cut);
+
+    NshdModel nshd(m, cut, config);
+    const tensor::Tensor* logits =
+        config.use_kd ? &teacher_train_logits(name) : nullptr;
+    const NshdTrainStats stats = nshd.train(train_feats, split_.train.labels, logits);
+
+    run.test_accuracy = nshd.evaluate(test_feats, split_.test.labels);
+    run.final_train_accuracy =
+        stats.epoch_train_accuracy.empty() ? 0.0 : stats.epoch_train_accuracy.back();
+    run.train_seconds = stats.seconds;
+    if (!std::isfinite(run.test_accuracy) ||
+        !std::isfinite(run.final_train_accuracy)) {
+      run.failed = true;
+      run.error = "non-finite accuracy";
+    }
+  } catch (const std::exception& e) {
+    run = NshdRun{};
+    run.failed = true;
+    run.error = e.what();
+  }
+  if (run.failed) {
+    NSHD_LOG_ERROR("%s cut=%zu: NSHD run failed (%s); marking the row failed "
+                   "and continuing the sweep",
+                   name.c_str(), cut, run.error.c_str());
+  }
   return run;
 }
 

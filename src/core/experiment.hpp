@@ -51,11 +51,15 @@ class ExperimentContext {
   const ExtractedFeatures& train_features(const std::string& name, std::size_t cut);
   const ExtractedFeatures& test_features(const std::string& name, std::size_t cut);
 
-  /// Builds and trains an NSHD variant; returns test accuracy.
+  /// Builds and trains an NSHD variant; returns test accuracy.  A config
+  /// that throws or yields a non-finite accuracy comes back with `failed`
+  /// set (and the reason in `error`) instead of aborting the whole sweep.
   struct NshdRun {
     double test_accuracy = 0.0;
     double final_train_accuracy = 0.0;
     double train_seconds = 0.0;
+    bool failed = false;
+    std::string error;
   };
   NshdRun run_nshd(const std::string& name, std::size_t cut, const NshdConfig& config);
 

@@ -21,10 +21,18 @@ struct PretrainOptions {
   /// SynthCifarConfig::cache_key).
   std::string dataset_key;
   std::uint64_t model_seed = 11;
+  /// Persist a resume checkpoint after every epoch so a killed run picks up
+  /// from its last completed epoch (bitwise, at the same seed and thread
+  /// count) instead of restarting.
+  bool epoch_checkpoints = true;
 };
 
 /// Returns `name` trained on `train_set`: loads cached weights when the
-/// (model, dataset, config) fingerprint matches, otherwise trains and caches.
+/// (model, dataset, config) fingerprint matches, otherwise trains and
+/// caches.  Weights live in NSHDKPT1 checkpoint entries: a corrupt, stale,
+/// truncated, or layout-mismatched file is rejected with a named status and
+/// triggers a retrain — never a silent garbage load.  Fault site:
+/// "pretrain.kill" (dies right after writing an epoch checkpoint).
 ZooModel pretrained_model(const std::string& name, const data::Dataset& train_set,
                           const PretrainOptions& options,
                           const util::DiskCache& cache);

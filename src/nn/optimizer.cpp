@@ -45,9 +45,9 @@ Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
 }
 
 void Adam::step() {
-  ++t_;
-  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
-  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  step_count_[0] += 1.0f;
+  const float bias1 = 1.0f - std::pow(beta1_, step_count_[0]);
+  const float bias2 = 1.0f - std::pow(beta2_, step_count_[0]);
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Param& p = *params_[i];
     float* w = p.value.data();

@@ -15,6 +15,11 @@ class Optimizer {
   /// Applies one update from the accumulated gradients, then zeroes them.
   virtual void step() = 0;
 
+  /// Collects every tensor that must be persisted to resume an interrupted
+  /// run bitwise (momentum/moment buffers, step counters).  Mirrors
+  /// Layer::append_state; stateless optimizers append nothing.
+  virtual void append_state(std::vector<tensor::Tensor*>& state) { (void)state; }
+
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
 
@@ -32,6 +37,10 @@ class Sgd final : public Optimizer {
       float weight_decay = 0.0f);
   void step() override;
 
+  void append_state(std::vector<tensor::Tensor*>& state) override {
+    for (tensor::Tensor& v : velocity_) state.push_back(&v);
+  }
+
  private:
   float momentum_, weight_decay_;
   std::vector<tensor::Tensor> velocity_;
@@ -43,9 +52,17 @@ class Adam final : public Optimizer {
        float beta2 = 0.999f, float epsilon = 1e-8f, float weight_decay = 0.0f);
   void step() override;
 
+  void append_state(std::vector<tensor::Tensor*>& state) override {
+    for (tensor::Tensor& m : m_) state.push_back(&m);
+    for (tensor::Tensor& v : v_) state.push_back(&v);
+    state.push_back(&step_count_);
+  }
+
  private:
   float beta1_, beta2_, epsilon_, weight_decay_;
-  std::int64_t t_ = 0;
+  /// Step counter as a [1] tensor so it rides along in append_state (exact
+  /// as a float for any realistic run length).
+  tensor::Tensor step_count_{tensor::Shape{1}};
   std::vector<tensor::Tensor> m_, v_;
 };
 

@@ -1,8 +1,20 @@
 #include "nn/sequential.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace nshd::nn {
+
+namespace {
+void check_layer_index(std::size_t index, std::size_t size, const char* what) {
+  // Throw (instead of asserting) so an out-of-range cut from a sweep config
+  // surfaces as a catchable failure, not release-mode UB.
+  if (index >= size)
+    throw std::out_of_range(std::string(what) + ": layer index " +
+                            std::to_string(index) + " >= size " +
+                            std::to_string(size));
+}
+}  // namespace
 
 Sequential& Sequential::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
@@ -16,7 +28,7 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 }
 
 Tensor Sequential::forward_to(const Tensor& input, std::size_t last_layer) {
-  assert(last_layer < layers_.size());
+  check_layer_index(last_layer, layers_.size(), "Sequential::forward_to");
   Tensor x = input;
   for (std::size_t i = 0; i <= last_layer; ++i) {
     x = layers_[i]->forward(x, /*training=*/false);
@@ -47,7 +59,7 @@ Shape Sequential::output_shape(const Shape& input) const {
 }
 
 Shape Sequential::output_shape_at(const Shape& input, std::size_t last_layer) const {
-  assert(last_layer < layers_.size());
+  check_layer_index(last_layer, layers_.size(), "Sequential::output_shape_at");
   Shape s = input;
   for (std::size_t i = 0; i <= last_layer; ++i) s = layers_[i]->output_shape(s);
   return s;

@@ -7,20 +7,61 @@
 namespace nshd::nn {
 
 namespace {
-/// A layout fingerprint: hash of the sequence of tensor sizes.
-float layout_fingerprint(const std::vector<Tensor*>& state) {
+/// A layout fingerprint: hash of the sequence of full tensor shapes.
+/// Hashing dims (not just numel) makes a transposed/reshaped layout with
+/// equal element counts a mismatch instead of a garbage load.
+std::uint64_t layout_hash(const std::vector<Tensor*>& state) {
   std::string desc;
   for (const Tensor* t : state) {
-    desc += std::to_string(t->numel());
+    for (const std::int64_t d : t->shape().dims()) {
+      desc += std::to_string(d);
+      desc += 'x';
+    }
     desc += ',';
   }
-  const std::uint64_t h = util::fnv1a64(desc);
-  float f;
-  const auto low = static_cast<std::uint32_t>(h ^ (h >> 32));
-  std::memcpy(&f, &low, sizeof f);
-  return f;
+  return util::fnv1a64(desc);
+}
+
+/// The hash folded to 32 bits, as stored in the blob's header float slot.
+std::uint32_t fingerprint_bits(const std::vector<Tensor*>& state) {
+  const std::uint64_t h = layout_hash(state);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
 }
 }  // namespace
+
+util::Checkpoint checkpoint_state(Layer& layer, std::string key, std::string meta) {
+  std::vector<Tensor*> state;
+  layer.append_state(state);
+  util::Checkpoint checkpoint;
+  checkpoint.key = std::move(key);
+  checkpoint.meta = std::move(meta);
+  checkpoint.tensors.reserve(state.size());
+  for (const Tensor* t : state) {
+    util::CheckpointTensor ct;
+    ct.dims = t->shape().dims();
+    ct.values = t->storage();
+    checkpoint.tensors.push_back(std::move(ct));
+  }
+  return checkpoint;
+}
+
+util::LoadStatus load_state(Layer& layer, const util::Checkpoint& checkpoint) {
+  std::vector<Tensor*> state;
+  layer.append_state(state);
+  if (checkpoint.tensors.size() != state.size())
+    return util::LoadStatus::kShapeMismatch;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (checkpoint.tensors[i].dims != state[i]->shape().dims() ||
+        checkpoint.tensors[i].values.size() !=
+            static_cast<std::size_t>(state[i]->numel()))
+      return util::LoadStatus::kShapeMismatch;
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    std::memcpy(state[i]->data(), checkpoint.tensors[i].values.data(),
+                checkpoint.tensors[i].values.size() * sizeof(float));
+  }
+  return util::LoadStatus::kOk;
+}
 
 std::vector<float> save_state(Layer& layer) {
   std::vector<Tensor*> state;
@@ -29,7 +70,10 @@ std::vector<float> save_state(Layer& layer) {
   std::int64_t total = 1;
   for (const Tensor* t : state) total += t->numel();
   blob.reserve(static_cast<std::size_t>(total));
-  blob.push_back(layout_fingerprint(state));
+  float fingerprint;
+  const std::uint32_t bits = fingerprint_bits(state);
+  std::memcpy(&fingerprint, &bits, sizeof fingerprint);
+  blob.push_back(fingerprint);
   for (const Tensor* t : state)
     blob.insert(blob.end(), t->storage().begin(), t->storage().end());
   return blob;
@@ -41,7 +85,13 @@ bool load_state(Layer& layer, const std::vector<float>& blob) {
   std::int64_t total = 1;
   for (const Tensor* t : state) total += t->numel();
   if (static_cast<std::int64_t>(blob.size()) != total) return false;
-  if (blob.empty() || blob[0] != layout_fingerprint(state)) return false;
+  if (blob.empty()) return false;
+  // Compare the fingerprint as raw bits: a float != float comparison is
+  // always true when the hash bits form a NaN pattern, which used to reject
+  // valid cached weights forever.
+  std::uint32_t stored_bits;
+  std::memcpy(&stored_bits, &blob[0], sizeof stored_bits);
+  if (stored_bits != fingerprint_bits(state)) return false;
   std::size_t offset = 1;
   for (Tensor* t : state) {
     std::memcpy(t->data(), blob.data() + offset,

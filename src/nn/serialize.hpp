@@ -1,23 +1,38 @@
-// Flat serialization of a layer's persistent state (params + running stats)
-// into a single float blob, used with util::DiskCache to memoize the
-// pretrained teacher CNNs.
+// Serialization of a layer's persistent state (params + running stats).
+//
+// The primary format is the util::Checkpoint artifact (NSHDKPT1): a full
+// per-tensor shape table plus CRCs, so a stale or corrupt file is rejected
+// with a named LoadStatus instead of being loaded as garbage.  The flat
+// float-blob form is kept for in-memory snapshots and legacy call sites.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "util/checkpoint.hpp"
 
 namespace nshd::nn {
 
+/// Collects all state tensors of `layer` (shape-tagged) into a checkpoint.
+util::Checkpoint checkpoint_state(Layer& layer, std::string key = {},
+                                  std::string meta = {});
+
+/// Restores state previously produced by checkpoint_state.  Returns
+/// kShapeMismatch (layer untouched) when the tensor count or any tensor's
+/// dims differ — including same-numel reshapes, which the flat blob's
+/// fingerprint could not distinguish.
+util::LoadStatus load_state(Layer& layer, const util::Checkpoint& checkpoint);
+
 /// Serializes all state tensors of `layer` into one flat blob.  The first
-/// element is a checksum of the tensor-count/shape layout so that a stale
-/// cache from a different architecture is rejected on load.
+/// element is a fingerprint of the full per-tensor shape layout so that a
+/// stale blob from a different architecture is rejected on load.
 std::vector<float> save_state(Layer& layer);
 
 /// Restores state previously produced by save_state.  Returns false (and
 /// leaves the layer untouched) when the blob does not match the layer's
-/// layout.
+/// layout.  The fingerprint is compared as raw bits, so layouts whose hash
+/// happens to form a NaN float pattern still round-trip.
 bool load_state(Layer& layer, const std::vector<float>& blob);
 
 /// Number of parameter floats (not counting running stats).

@@ -1,28 +1,146 @@
 #include "nn/trainer.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "tensor/ops.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
 namespace nshd::nn {
 
+namespace {
+
+bool all_finite(const std::vector<tensor::Tensor*>& state) {
+  for (const tensor::Tensor* t : state)
+    for (const float v : t->span())
+      if (!std::isfinite(v)) return false;
+  return true;
+}
+
+std::vector<tensor::Tensor> clone_state(const std::vector<tensor::Tensor*>& src) {
+  std::vector<tensor::Tensor> out;
+  out.reserve(src.size());
+  for (const tensor::Tensor* t : src) out.push_back(*t);
+  return out;
+}
+
+/// Copies snapshot tensors back into the live state; false on layout drift.
+bool restore_state(const std::vector<tensor::Tensor>& snapshot,
+                   const std::vector<tensor::Tensor*>& dst) {
+  if (snapshot.size() != dst.size()) return false;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    if (snapshot[i].numel() != dst[i]->numel()) return false;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    std::memcpy(dst[i]->data(), snapshot[i].data(),
+                static_cast<std::size_t>(dst[i]->numel()) * sizeof(float));
+  return true;
+}
+
+}  // namespace
+
+util::Checkpoint TrainCheckpoint::to_artifact(std::string key) const {
+  util::Checkpoint artifact;
+  artifact.key = std::move(key);
+  char meta[160];
+  // %a round-trips lr_scale bitwise through the text field.
+  std::snprintf(meta, sizeof meta,
+                "train|epochs_done=%lld;recoveries=%lld;lr_scale=%a;model_tensors=%zu",
+                static_cast<long long>(epochs_done),
+                static_cast<long long>(recoveries),
+                static_cast<double>(lr_scale), model_state.size());
+  artifact.meta = meta;
+  artifact.tensors.reserve(model_state.size() + optimizer_state.size());
+  for (const auto* bank : {&model_state, &optimizer_state}) {
+    for (const tensor::Tensor& t : *bank) {
+      util::CheckpointTensor ct;
+      ct.dims = t.shape().dims();
+      ct.values = t.storage();
+      artifact.tensors.push_back(std::move(ct));
+    }
+  }
+  return artifact;
+}
+
+std::optional<TrainCheckpoint> TrainCheckpoint::from_artifact(
+    const util::Checkpoint& artifact) {
+  long long epochs_done = 0, recoveries = 0;
+  double lr_scale = 1.0;
+  std::size_t model_tensors = 0;
+  if (std::sscanf(artifact.meta.c_str(),
+                  "train|epochs_done=%lld;recoveries=%lld;lr_scale=%la;model_tensors=%zu",
+                  &epochs_done, &recoveries, &lr_scale, &model_tensors) != 4)
+    return std::nullopt;
+  if (model_tensors > artifact.tensors.size()) return std::nullopt;
+
+  TrainCheckpoint tc;
+  tc.epochs_done = epochs_done;
+  tc.recoveries = recoveries;
+  tc.lr_scale = static_cast<float>(lr_scale);
+  for (std::size_t i = 0; i < artifact.tensors.size(); ++i) {
+    const util::CheckpointTensor& ct = artifact.tensors[i];
+    tensor::Tensor t(tensor::Shape(ct.dims), ct.values);
+    (i < model_tensors ? tc.model_state : tc.optimizer_state).push_back(std::move(t));
+  }
+  return tc;
+}
+
 TrainReport train_classifier(Sequential& model, const data::Dataset& train,
-                             const TrainConfig& config,
-                             const std::function<void(const EpochStats&)>& on_epoch) {
+                             const TrainConfig& config, const EpochHook& on_epoch,
+                             const TrainCheckpoint* resume) {
   util::Rng rng(config.seed);
   Sgd optimizer(model.params(), config.learning_rate, config.momentum,
                 config.weight_decay);
   data::BatchIterator batches(train, config.batch_size, rng);
 
-  TrainReport report;
-  const std::int64_t total_steps =
-      std::max<std::int64_t>(1, config.epochs * batches.batches_per_epoch());
-  std::int64_t step = 0;
+  std::vector<tensor::Tensor*> model_state;
+  model.append_state(model_state);
+  std::vector<tensor::Tensor*> optimizer_state;
+  optimizer.append_state(optimizer_state);
 
-  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  TrainReport report;
+  std::int64_t first_epoch = 0;
+  float lr_scale = 1.0f;
+  std::int64_t recoveries = 0;
+
+  if (resume != nullptr) {
+    if (restore_state(resume->model_state, model_state) &&
+        restore_state(resume->optimizer_state, optimizer_state)) {
+      first_epoch = std::min(resume->epochs_done, config.epochs);
+      lr_scale = resume->lr_scale;
+      recoveries = resume->recoveries;
+      report.resumed_from_epoch = first_epoch;
+      // Replay the shuffle stream the skipped epochs consumed, so epoch
+      // `first_epoch` draws exactly the batches it would have in an
+      // uninterrupted run.
+      for (std::int64_t e = 0; e < first_epoch; ++e) batches.reset();
+      NSHD_LOG_INFO("resuming training at epoch %lld",
+                    static_cast<long long>(first_epoch));
+    } else {
+      NSHD_LOG_WARN("resume checkpoint does not match the model layout; "
+                    "training from scratch");
+    }
+  }
+
+  // Rollback target for divergence recovery; before the first completed
+  // epoch this is the initial (or resumed) state.
+  TrainCheckpoint last_good;
+  last_good.epochs_done = first_epoch;
+  last_good.lr_scale = lr_scale;
+  last_good.recoveries = recoveries;
+  last_good.model_state = clone_state(model_state);
+  last_good.optimizer_state = clone_state(optimizer_state);
+
+  const std::int64_t batches_per_epoch = batches.batches_per_epoch();
+  const std::int64_t total_steps =
+      std::max<std::int64_t>(1, config.epochs * batches_per_epoch);
+  std::int64_t step = first_epoch * batches_per_epoch;
+
+  std::int64_t epoch = first_epoch;
+  while (epoch < config.epochs) {
     util::Stopwatch watch;
     batches.reset();
     tensor::Tensor images;
@@ -31,9 +149,9 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
     std::int64_t correct = 0, seen = 0, batch_count = 0;
 
     while (batches.next(images, labels)) {
-      // Cosine learning-rate schedule.
+      // Cosine learning-rate schedule, scaled by the divergence backoff.
       const double progress = static_cast<double>(step) / static_cast<double>(total_steps);
-      const float lr = config.learning_rate *
+      const float lr = config.learning_rate * lr_scale *
                        (config.min_lr_fraction +
                         (1.0f - config.min_lr_fraction) *
                             0.5f * (1.0f + static_cast<float>(std::cos(progress * 3.14159265))));
@@ -41,6 +159,8 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
 
       tensor::Tensor logits = model.forward(images, /*training=*/true);
       LossResult loss = softmax_cross_entropy(logits, labels);
+      if (util::fault::should_fire("trainer.nan_loss"))
+        loss.loss = std::numeric_limits<double>::quiet_NaN();
       model.backward(loss.grad_logits);
       optimizer.step();
 
@@ -56,24 +176,59 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
     stats.loss = loss_sum / std::max<std::int64_t>(1, batch_count);
     stats.accuracy = static_cast<double>(correct) / std::max<std::int64_t>(1, seen);
     stats.seconds = watch.seconds();
+
+    if (config.recover_divergence &&
+        (!std::isfinite(stats.loss) || !all_finite(model_state))) {
+      restore_state(last_good.model_state, model_state);
+      restore_state(last_good.optimizer_state, optimizer_state);
+      step = epoch * batches_per_epoch;  // rewind the schedule too
+      if (recoveries >= config.max_divergence_retries) {
+        report.diverged = true;
+        report.divergence_recoveries = recoveries;
+        NSHD_LOG_ERROR("epoch %lld diverged and retries are exhausted (%lld); "
+                       "keeping the last finite weights",
+                       static_cast<long long>(epoch),
+                       static_cast<long long>(recoveries));
+        return report;
+      }
+      ++recoveries;
+      lr_scale *= config.divergence_backoff;
+      NSHD_LOG_WARN("epoch %lld produced a non-finite loss/weight; rolled back "
+                    "to epoch %lld, retrying with lr scale %.4g (recovery %lld)",
+                    static_cast<long long>(epoch),
+                    static_cast<long long>(last_good.epochs_done), lr_scale,
+                    static_cast<long long>(recoveries));
+      continue;  // retry the same epoch index
+    }
+
     report.epochs.push_back(stats);
     report.final_train_accuracy = stats.accuracy;
+    report.divergence_recoveries = recoveries;
     NSHD_LOG_INFO("epoch %lld: loss=%.4f acc=%.4f (%.1fs)",
                   static_cast<long long>(epoch), stats.loss, stats.accuracy,
                   stats.seconds);
-    if (on_epoch) on_epoch(stats);
+
+    last_good.epochs_done = epoch + 1;
+    last_good.lr_scale = lr_scale;
+    last_good.recoveries = recoveries;
+    last_good.model_state = clone_state(model_state);
+    last_good.optimizer_state = clone_state(optimizer_state);
+    if (on_epoch) on_epoch(stats, last_good);
+
     if (config.target_train_accuracy > 0.0f &&
         stats.accuracy >= config.target_train_accuracy) {
       NSHD_LOG_INFO("early stop at epoch %lld (train acc %.4f)",
                     static_cast<long long>(epoch), stats.accuracy);
       break;
     }
+    ++epoch;
   }
   return report;
 }
 
 double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
                            std::int64_t batch_size) {
+  if (dataset.size() == 0) return 0.0;
   util::Rng rng(1);
   data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
   tensor::Tensor images;
@@ -91,6 +246,7 @@ double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
 
 tensor::Tensor predict_logits(Sequential& model, const data::Dataset& dataset,
                               std::int64_t batch_size) {
+  if (dataset.size() == 0) return tensor::Tensor();
   util::Rng rng(1);
   data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
   tensor::Tensor images;

@@ -57,6 +57,40 @@ std::string DiskCache::path_for(const std::string& key) const {
   return dir_ + "/" + buf + ".bin";
 }
 
+std::string DiskCache::checkpoint_path_for(const std::string& key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return dir_ + "/" + buf + ".ckpt";
+}
+
+CheckpointLoad DiskCache::get_checkpoint(const std::string& key) const {
+  const std::string path = checkpoint_path_for(key);
+  CheckpointLoad load = read_checkpoint_file(path);
+  if (load.ok() && load.checkpoint.key != key) {
+    // fnv1a64 collision or foreign file under this hash: a miss, never
+    // another key's tensors.
+    NSHD_LOG_WARN("cache checkpoint %s stores a different key; ignoring", path.c_str());
+    return CheckpointLoad{};
+  }
+  if (!load.ok() && load.status != LoadStatus::kNotFound) {
+    NSHD_LOG_WARN("cache checkpoint %s unusable (%s); ignoring", path.c_str(),
+                  to_string(load.status));
+  }
+  return load;
+}
+
+bool DiskCache::put_checkpoint(const std::string& key, Checkpoint checkpoint) const {
+  std::filesystem::create_directories(dir_);
+  checkpoint.key = key;
+  return write_checkpoint_file(checkpoint_path_for(key), checkpoint);
+}
+
+void DiskCache::erase_checkpoint(const std::string& key) const {
+  std::error_code ec;
+  std::filesystem::remove(checkpoint_path_for(key), ec);
+}
+
 std::optional<std::vector<float>> DiskCache::get(const std::string& key) const {
   const std::string path = path_for(key);
   std::ifstream in(path, std::ios::binary);

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/checkpoint.hpp"
+
 namespace nshd::util {
 
 /// FNV-1a 64-bit hash of a string; stable across runs/platforms.
@@ -39,6 +41,20 @@ class DiskCache {
   /// Removes the entry if present.
   void erase(const std::string& key) const;
 
+  /// Typed-artifact entries: NSHDKPT1 checkpoint files (`<hash(key)>.ckpt`)
+  /// carrying shapes, per-section CRCs and a commit marker, so corruption is
+  /// detected and named instead of loaded.  The embedded key is verified the
+  /// same way as the blob header: a collision or legacy file reads as
+  /// kNotFound.  Any non-ok status means "recompute"; the caller can log it.
+  CheckpointLoad get_checkpoint(const std::string& key) const;
+
+  /// Writes (atomic, unique-temp staged) `checkpoint` under `key`; the
+  /// stored checkpoint's key field is forced to `key`.
+  bool put_checkpoint(const std::string& key, Checkpoint checkpoint) const;
+
+  /// Removes the checkpoint entry if present.
+  void erase_checkpoint(const std::string& key) const;
+
   const std::string& dir() const { return dir_; }
 
   /// The repo-standard cache: $NSHD_CACHE_DIR or ".nshd_cache".
@@ -46,6 +62,7 @@ class DiskCache {
 
  private:
   std::string path_for(const std::string& key) const;
+  std::string checkpoint_path_for(const std::string& key) const;
   std::string dir_;
 };
 

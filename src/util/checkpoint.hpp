@@ -1,0 +1,83 @@
+// Versioned, checksummed binary artifact format for long-lived state
+// (model weights, trainer resume snapshots, cached feature banks).
+//
+// The NSHDKPT1 layout is designed so that every way a file can go wrong is
+// *detected and named* rather than silently loaded:
+//
+//   magic "NSHDKPT1"            not a checkpoint / legacy blob -> kNotFound
+//   u32   format version        future format bump -> kVersionMismatch
+//   u32   tensor count
+//   u64+  key bytes             identity; DiskCache verifies against the key
+//   u64+  meta bytes            free-form (resume counters etc.)
+//   per tensor: u32 rank, i64 dims[rank]   full shapes, not just numel
+//   u32   header CRC32          covers everything above
+//   per tensor: float payload, u32 section CRC32
+//   u32   whole-file CRC32      covers everything above
+//   char  commit marker "NSHDCMT1"         torn write -> kTruncated
+//
+// Files are written to a unique temp name and committed by atomic rename,
+// so readers never observe a half-written file under the final name; the
+// trailing commit marker additionally catches post-rename truncation (power
+// loss before data blocks hit disk).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nshd::util {
+
+/// Typed outcome of loading an artifact.  Everything except kOk leaves the
+/// caller's state untouched; callers decide whether to fall back to
+/// recompute/retrain (and can log the status by name).
+enum class LoadStatus {
+  kOk,
+  kNotFound,         // no file, or not an NSHDKPT artifact (legacy blob)
+  kTruncated,        // torn write / short read: commit marker or bytes missing
+  kBadChecksum,      // bit rot: a CRC32 does not match
+  kVersionMismatch,  // artifact from a different format version
+  kShapeMismatch,    // tensor count or dims differ from the destination
+};
+
+const char* to_string(LoadStatus status);
+
+/// One persisted tensor: full dims plus raw float values (row-major).
+struct CheckpointTensor {
+  std::vector<std::int64_t> dims;
+  std::vector<float> values;
+};
+
+/// An artifact: identity key, free-form metadata, and a tensor list.
+struct Checkpoint {
+  std::string key;
+  std::string meta;
+  std::vector<CheckpointTensor> tensors;
+};
+
+/// Result of decoding/reading; `checkpoint` is valid only when ok().
+struct CheckpointLoad {
+  LoadStatus status = LoadStatus::kNotFound;
+  Checkpoint checkpoint;
+  bool ok() const { return status == LoadStatus::kOk; }
+};
+
+/// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) of `size` bytes.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// Serializes to NSHDKPT1 bytes (commit marker last).
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Decodes and fully verifies an NSHDKPT1 byte buffer.
+CheckpointLoad decode_checkpoint(const std::uint8_t* data, std::size_t size);
+
+/// Writes `checkpoint` to `path` via unique temp file + atomic rename,
+/// creating parent directories as needed.  Returns false on IO failure.
+/// Fault sites: "checkpoint.torn_write" (commits a truncated file),
+/// "checkpoint.bit_flip" (flips one bit mid-file before writing).
+bool write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads and verifies `path`; a missing file is kNotFound, never an error.
+/// Fault site: "checkpoint.short_read" (drops the tail of the read).
+CheckpointLoad read_checkpoint_file(const std::string& path);
+
+}  // namespace nshd::util

@@ -1,0 +1,104 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace nshd::util::fault {
+
+namespace {
+
+struct Site {
+  std::uint64_t nth = 1;  // 1-based hit that fires; ignored when every=true
+  bool every = false;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Parses NSHD_FAULT ("site[:nth][,site[:nth]]...") into the site map.
+/// Call with the registry mutex held.
+void load_env_locked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const char* env = std::getenv("NSHD_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!entry.empty()) {
+      Site site;
+      const std::size_t colon = entry.find(':');
+      std::string name = entry;
+      if (colon == std::string::npos) {
+        site.every = true;
+      } else {
+        name = entry.substr(0, colon);
+        site.nth = std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+        if (site.nth == 0) site.every = true;
+      }
+      if (!name.empty()) r.sites[name] = site;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+bool should_fire(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  return s.every || s.hits == s.nth;
+}
+
+void arm(const std::string& site, std::uint64_t nth) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  Site s;
+  s.nth = nth == 0 ? 1 : nth;
+  r.sites[site] = s;
+}
+
+void arm_every(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  Site s;
+  s.every = true;
+  r.sites[site] = s;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  r.env_loaded = true;  // a later should_fire must not re-arm from the env
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace nshd::util::fault

@@ -1,0 +1,46 @@
+// Deterministic fault injection for exercising recovery paths.
+//
+// Production code paths that must survive corruption or divergence
+// (checkpoint writer/reader, the trainer loop, pretraining) carry cheap
+// named probes: `if (fault::should_fire("checkpoint.torn_write")) ...`.
+// A probe does nothing until its site is armed, either from the
+// environment --
+//
+//   NSHD_FAULT="checkpoint.torn_write:1"    fire on the 1st hit only
+//   NSHD_FAULT="trainer.nan_loss"           fire on every hit
+//   NSHD_FAULT="a:2,b"                      several sites at once
+//
+// -- or programmatically from tests via arm()/arm_every().  Hits are
+// counted per site, so tests can assert that an injection point was
+// actually reached.
+//
+// Registered sites:
+//   checkpoint.torn_write   write_checkpoint_file commits a truncated file
+//   checkpoint.bit_flip     write_checkpoint_file flips one payload bit
+//   checkpoint.short_read   read_checkpoint_file drops the file's tail
+//   trainer.nan_loss        train_classifier sees a NaN batch loss
+//   pretrain.kill           pretrained_model dies after an epoch checkpoint
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nshd::util::fault {
+
+/// Counts a hit on `site` and returns true when the armed trigger matches
+/// (every hit, or exactly the n-th).  Unarmed sites always return false.
+bool should_fire(const std::string& site);
+
+/// Arms `site` to fire on exactly its `nth` hit (1-based), counted from now.
+void arm(const std::string& site, std::uint64_t nth = 1);
+
+/// Arms `site` to fire on every hit.
+void arm_every(const std::string& site);
+
+/// Disarms every site and forgets hit counts (environment arming included).
+void disarm_all();
+
+/// Hits recorded against `site` since it was (re-)armed; 0 when unarmed.
+std::uint64_t hits(const std::string& site);
+
+}  // namespace nshd::util::fault

@@ -1,0 +1,304 @@
+// Corruption matrix for the NSHDKPT1 checkpoint format: every truncation
+// point, single-bit flips over the whole file, version bumps, legacy blobs,
+// concurrent writers, and the env/test-armed fault injection sites.  The
+// invariant under test is "zero silent wrong loads": any damaged file must
+// come back with a typed non-ok status, never decoded garbage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "util/cache.hpp"
+#include "util/checkpoint.hpp"
+#include "util/fault.hpp"
+
+namespace nshd::util {
+namespace {
+
+Checkpoint make_checkpoint() {
+  Checkpoint cp;
+  cp.key = "pretrained|test-model|k=3";
+  cp.meta = "train|epochs_done=2;lr_scale=0x1p-1";
+  CheckpointTensor a;
+  a.dims = {2, 3};
+  a.values = {1.0f, -2.5f, 0.0f, 4.25f, 1e-7f, -3e8f};
+  CheckpointTensor b;
+  b.dims = {4};
+  b.values = {0.5f, 0.25f, -0.125f, 9.0f};
+  cp.tensors = {a, b};
+  return cp;
+}
+
+class CheckpointFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nshd_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(Crc32, KnownAnswer) {
+  // The standard CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+TEST(Crc32, SeedChainsIncrementally) {
+  const char* text = "123456789";
+  const std::uint32_t whole = crc32(text, 9);
+  const std::uint32_t split = crc32(text + 4, 5, crc32(text, 4));
+  EXPECT_EQ(split, whole);
+}
+
+TEST(CheckpointCodec, RoundTripPreservesEverything) {
+  const Checkpoint cp = make_checkpoint();
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(cp);
+  const CheckpointLoad load = decode_checkpoint(bytes.data(), bytes.size());
+  ASSERT_EQ(load.status, LoadStatus::kOk);
+  EXPECT_EQ(load.checkpoint.key, cp.key);
+  EXPECT_EQ(load.checkpoint.meta, cp.meta);
+  ASSERT_EQ(load.checkpoint.tensors.size(), cp.tensors.size());
+  for (std::size_t i = 0; i < cp.tensors.size(); ++i) {
+    EXPECT_EQ(load.checkpoint.tensors[i].dims, cp.tensors[i].dims);
+    EXPECT_EQ(load.checkpoint.tensors[i].values, cp.tensors[i].values);
+  }
+}
+
+TEST(CheckpointCodec, EmptyCheckpointRoundTrips) {
+  const Checkpoint cp;  // no key, no meta, no tensors
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(cp);
+  const CheckpointLoad load = decode_checkpoint(bytes.data(), bytes.size());
+  ASSERT_EQ(load.status, LoadStatus::kOk);
+  EXPECT_TRUE(load.checkpoint.tensors.empty());
+}
+
+TEST(CheckpointCodec, LegacyBlobIsAMiss) {
+  // A headerless float blob (the pre-checkpoint cache format) must read as
+  // kNotFound so callers treat it as a cache miss, not an error.
+  const std::vector<float> legacy = {0.5f, 1.5f, -2.0f, 3.25f};
+  const CheckpointLoad load = decode_checkpoint(
+      reinterpret_cast<const std::uint8_t*>(legacy.data()),
+      legacy.size() * sizeof(float));
+  EXPECT_EQ(load.status, LoadStatus::kNotFound);
+}
+
+TEST(CheckpointCodec, TruncationAtEveryLengthIsTyped) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(make_checkpoint());
+  // Every strict prefix — which covers every section boundary — must decode
+  // as kTruncated: the magic-prefix rule classifies short headers, and the
+  // trailing commit marker catches everything after.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const CheckpointLoad load = decode_checkpoint(bytes.data(), len);
+    EXPECT_EQ(load.status, LoadStatus::kTruncated) << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointCodec, EveryBitFlipIsDetectedAndTyped) {
+  const std::vector<std::uint8_t> pristine = encode_checkpoint(make_checkpoint());
+  ASSERT_EQ(decode_checkpoint(pristine.data(), pristine.size()).status,
+            LoadStatus::kOk);
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = pristine;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const CheckpointLoad load = decode_checkpoint(bytes.data(), bytes.size());
+      LoadStatus expected;
+      if (byte < 8) {
+        expected = LoadStatus::kNotFound;  // magic no longer matches
+      } else if (byte < 12) {
+        expected = LoadStatus::kVersionMismatch;  // version word
+      } else if (byte >= bytes.size() - 8) {
+        expected = LoadStatus::kTruncated;  // commit marker destroyed
+      } else {
+        expected = LoadStatus::kBadChecksum;  // a CRC catches it
+      }
+      EXPECT_EQ(load.status, expected) << "byte " << byte << " bit " << bit;
+      EXPECT_NE(load.status, LoadStatus::kOk) << "silent wrong load!";
+    }
+  }
+}
+
+TEST(CheckpointCodec, FutureVersionIsVersionMismatch) {
+  std::vector<std::uint8_t> bytes = encode_checkpoint(make_checkpoint());
+  std::uint32_t version = 2;
+  std::memcpy(bytes.data() + 8, &version, sizeof version);
+  // The version gates interpretation before any CRC: a future format may
+  // relocate the checksums themselves.
+  EXPECT_EQ(decode_checkpoint(bytes.data(), bytes.size()).status,
+            LoadStatus::kVersionMismatch);
+}
+
+TEST(CheckpointCodec, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(LoadStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(LoadStatus::kNotFound), "not_found");
+  EXPECT_STREQ(to_string(LoadStatus::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(LoadStatus::kBadChecksum), "bad_checksum");
+  EXPECT_STREQ(to_string(LoadStatus::kVersionMismatch), "version_mismatch");
+  EXPECT_STREQ(to_string(LoadStatus::kShapeMismatch), "shape_mismatch");
+}
+
+TEST_F(CheckpointFiles, FileRoundTrip) {
+  const Checkpoint cp = make_checkpoint();
+  ASSERT_TRUE(write_checkpoint_file(path("a.ckpt"), cp));
+  const CheckpointLoad load = read_checkpoint_file(path("a.ckpt"));
+  ASSERT_EQ(load.status, LoadStatus::kOk);
+  EXPECT_EQ(load.checkpoint.key, cp.key);
+  ASSERT_EQ(load.checkpoint.tensors.size(), 2u);
+  EXPECT_EQ(load.checkpoint.tensors[0].values, cp.tensors[0].values);
+}
+
+TEST_F(CheckpointFiles, MissingFileIsNotFound) {
+  EXPECT_EQ(read_checkpoint_file(path("nope.ckpt")).status, LoadStatus::kNotFound);
+}
+
+TEST_F(CheckpointFiles, LegacyFileOnDiskIsNotFound) {
+  const std::vector<float> legacy(16, 1.25f);
+  std::ofstream out(path("legacy.ckpt"), std::ios::binary);
+  out.write(reinterpret_cast<const char*>(legacy.data()),
+            static_cast<std::streamsize>(legacy.size() * sizeof(float)));
+  out.close();
+  EXPECT_EQ(read_checkpoint_file(path("legacy.ckpt")).status,
+            LoadStatus::kNotFound);
+}
+
+TEST_F(CheckpointFiles, WriteCreatesParentDirectories) {
+  const std::string nested = path("deep/nested/dirs/b.ckpt");
+  ASSERT_TRUE(write_checkpoint_file(nested, make_checkpoint()));
+  EXPECT_EQ(read_checkpoint_file(nested).status, LoadStatus::kOk);
+}
+
+TEST_F(CheckpointFiles, ConcurrentWritersLeaveOneValidFile) {
+  // Many writers race on the same final path; the unique-temp + atomic
+  // rename protocol guarantees the surviving file is one writer's complete
+  // checkpoint, never an interleaving.
+  const std::string target = path("contended.ckpt");
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 10;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int w = 0; w < kWritesPerThread; ++w) {
+        Checkpoint cp = make_checkpoint();
+        cp.meta = "writer=" + std::to_string(t);
+        ASSERT_TRUE(write_checkpoint_file(target, cp));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  const CheckpointLoad load = read_checkpoint_file(target);
+  ASSERT_EQ(load.status, LoadStatus::kOk);
+  EXPECT_EQ(load.checkpoint.meta.rfind("writer=", 0), 0u);
+  EXPECT_EQ(load.checkpoint.tensors.size(), 2u);
+}
+
+TEST_F(CheckpointFiles, TornWriteFaultReadsAsTruncated) {
+  fault::arm("checkpoint.torn_write");
+  ASSERT_TRUE(write_checkpoint_file(path("torn.ckpt"), make_checkpoint()));
+  EXPECT_EQ(fault::hits("checkpoint.torn_write"), 1u);
+  EXPECT_EQ(read_checkpoint_file(path("torn.ckpt")).status,
+            LoadStatus::kTruncated);
+  // The fault fired once; the rewrite must repair the file.
+  ASSERT_TRUE(write_checkpoint_file(path("torn.ckpt"), make_checkpoint()));
+  EXPECT_EQ(read_checkpoint_file(path("torn.ckpt")).status, LoadStatus::kOk);
+}
+
+TEST_F(CheckpointFiles, BitFlipFaultReadsAsBadChecksum) {
+  fault::arm("checkpoint.bit_flip");
+  ASSERT_TRUE(write_checkpoint_file(path("flip.ckpt"), make_checkpoint()));
+  EXPECT_EQ(read_checkpoint_file(path("flip.ckpt")).status,
+            LoadStatus::kBadChecksum);
+}
+
+TEST_F(CheckpointFiles, ShortReadFaultReadsAsTruncated) {
+  ASSERT_TRUE(write_checkpoint_file(path("short.ckpt"), make_checkpoint()));
+  fault::arm("checkpoint.short_read");
+  EXPECT_EQ(read_checkpoint_file(path("short.ckpt")).status,
+            LoadStatus::kTruncated);
+  // Next read is clean again (nth=1 trigger already consumed).
+  EXPECT_EQ(read_checkpoint_file(path("short.ckpt")).status, LoadStatus::kOk);
+}
+
+TEST(Fault, NthTriggerCountsHits) {
+  fault::disarm_all();
+  fault::arm("test.site", 2);
+  EXPECT_FALSE(fault::should_fire("test.site"));  // hit 1
+  EXPECT_TRUE(fault::should_fire("test.site"));   // hit 2 fires
+  EXPECT_FALSE(fault::should_fire("test.site"));  // hit 3
+  EXPECT_EQ(fault::hits("test.site"), 3u);
+  EXPECT_FALSE(fault::should_fire("unarmed.site"));
+  EXPECT_EQ(fault::hits("unarmed.site"), 0u);
+  fault::disarm_all();
+  EXPECT_FALSE(fault::should_fire("test.site"));
+}
+
+TEST_F(CheckpointFiles, DiskCacheCheckpointRoundTrip) {
+  DiskCache cache(path("cache"));
+  Checkpoint cp = make_checkpoint();
+  ASSERT_TRUE(cache.put_checkpoint("some|key", cp));
+  const CheckpointLoad load = cache.get_checkpoint("some|key");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load.checkpoint.key, "some|key");  // key is forced on put
+  EXPECT_EQ(load.checkpoint.tensors.size(), 2u);
+  EXPECT_FALSE(cache.get_checkpoint("other|key").ok());
+  EXPECT_EQ(cache.get_checkpoint("other|key").status, LoadStatus::kNotFound);
+
+  cache.erase_checkpoint("some|key");
+  EXPECT_EQ(cache.get_checkpoint("some|key").status, LoadStatus::kNotFound);
+}
+
+TEST_F(CheckpointFiles, DiskCacheRejectsForeignKeyFile) {
+  // Simulate an fnv1a64 collision: the file for key A sits at key B's path.
+  // The embedded-key check must turn this into a miss, not A's tensors.
+  DiskCache cache(path("cache"));
+  ASSERT_TRUE(cache.put_checkpoint("key-a", make_checkpoint()));
+  char name_a[32], name_b[32];
+  std::snprintf(name_a, sizeof name_a, "%016llx.ckpt",
+                static_cast<unsigned long long>(fnv1a64("key-a")));
+  std::snprintf(name_b, sizeof name_b, "%016llx.ckpt",
+                static_cast<unsigned long long>(fnv1a64("key-b")));
+  std::filesystem::copy_file(path("cache") + "/" + name_a,
+                             path("cache") + "/" + name_b);
+  EXPECT_EQ(cache.get_checkpoint("key-b").status, LoadStatus::kNotFound);
+  EXPECT_TRUE(cache.get_checkpoint("key-a").ok());
+}
+
+TEST_F(CheckpointFiles, DiskCacheSurfacesCorruptionStatus) {
+  DiskCache cache(path("cache"));
+  ASSERT_TRUE(cache.put_checkpoint("the-key", make_checkpoint()));
+  // Flip a payload bit in the stored file.
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.ckpt",
+                static_cast<unsigned long long>(fnv1a64("the-key")));
+  const std::string file = path("cache") + "/" + name;
+  std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+  io.seekp(40);
+  char byte = 0;
+  io.seekg(40);
+  io.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x04);
+  io.seekp(40);
+  io.write(&byte, 1);
+  io.close();
+  const CheckpointLoad load = cache.get_checkpoint("the-key");
+  EXPECT_FALSE(load.ok());
+  EXPECT_NE(load.status, LoadStatus::kNotFound);  // named corruption, not a miss
+}
+
+}  // namespace
+}  // namespace nshd::util

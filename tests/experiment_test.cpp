@@ -109,6 +109,23 @@ TEST_F(ExperimentFixture, VanillaHdRunsEndToEnd) {
   EXPECT_LE(vanilla, 1.0);
 }
 
+TEST_F(ExperimentFixture, FailedRunNshdMarksRowAndSweepContinues) {
+  NshdConfig config;
+  config.dim = 500;
+  // A cut index far beyond the layer stack throws inside run_nshd; the row
+  // comes back marked failed instead of taking down the whole sweep.
+  const auto bad = context().run_nshd("mobilenetv2s", 9999, config);
+  EXPECT_TRUE(bad.failed);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_EQ(bad.test_accuracy, 0.0);
+  // The context is still healthy: the next (valid) cell runs normally.
+  config.dim = 1000;
+  config.epochs = 5;
+  const auto good = context().run_nshd("mobilenetv2s", 14, config);
+  EXPECT_FALSE(good.failed);
+  EXPECT_GT(good.test_accuracy, 0.4);
+}
+
 TEST(ExperimentConfig, StandardScalesWithClassCount) {
   const ExperimentConfig ten = ExperimentConfig::standard(10);
   const ExperimentConfig hundred = ExperimentConfig::standard(100);

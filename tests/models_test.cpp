@@ -147,7 +147,8 @@ TEST(Pretrained, CacheRoundTrip) {
     ZooModel first = pretrained_model("mobilenetv2s", tiny, options, cache);
     const std::string key =
         pretrain_cache_key("mobilenetv2s", options, tiny.num_classes);
-    EXPECT_TRUE(cache.contains(key));
+    // Weights are stored as a checkpoint entry, not a legacy blob.
+    EXPECT_TRUE(cache.get_checkpoint(key).ok());
 
     // Second call must load, not retrain: weights identical.
     ZooModel second = pretrained_model("mobilenetv2s", tiny, options, cache);
