@@ -1,0 +1,163 @@
+// Inference throughput: legacy allocating forward vs the planned engine.
+//
+// For every zoo model and paper cut point this harness extracts features
+// from the same dataset twice — once through the pre-plan code path
+// (BatchIterator gather + Sequential::forward_to, reproduced here verbatim)
+// and once through an InferencePlan — and reports samples/sec for both,
+// the speedup, and the plan's workspace budget (shape-inferred estimate and
+// observed high water).  Outputs are cross-checked bitwise: any divergence
+// is a correctness bug and fails the bench.
+//
+// Results land on stdout as a table and in BENCH_inference.json (one record
+// per model x cut) for the driver/CI to scrape.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/feature_extractor.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "nn/plan.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nshd;
+
+/// The pre-plan extraction loop, kept bit-for-bit: unshuffled BatchIterator
+/// (per-batch gather copy), allocating forward_to, memcpy into the rows.
+tensor::Tensor legacy_extract(models::ZooModel& model, std::size_t cut,
+                              const data::Dataset& dataset,
+                              std::int64_t batch_size) {
+  const std::int64_t f = model.feature_dim_at(cut);
+  tensor::Tensor values(tensor::Shape{dataset.size(), f});
+  util::Rng rng(1);
+  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
+  tensor::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t row = 0;
+  while (batches.next(images, labels)) {
+    const tensor::Tensor activations = model.net.forward_to(images, cut);
+    std::memcpy(values.data() + row * f, activations.data(),
+                static_cast<std::size_t>(activations.numel()) * sizeof(float));
+    row += activations.shape()[0];
+  }
+  return values;
+}
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.seconds());
+  }
+  return best;
+}
+
+struct Record {
+  std::string model;
+  std::size_t cut = 0;
+  double legacy_sps = 0.0;
+  double planned_sps = 0.0;
+  std::size_t planned_bytes = 0;
+  std::size_t peak_bytes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::int64_t batch = args.get_int("batch", 32);
+  const int reps = args.get_int("reps", 3);
+  const std::string json_path = args.get("json", "BENCH_inference.json");
+
+  data::SynthCifarConfig data_config;
+  data_config.num_classes = 4;
+  data_config.samples_per_class = args.get_int("per_class", 24);  // 96 samples
+  const data::Dataset dataset = data::make_synth_cifar(data_config);
+  const double n = static_cast<double>(dataset.size());
+
+  std::vector<std::string> names = models::zoo_model_names();
+  if (args.has("models")) names = {args.get("models", "")};
+
+  util::Table table({"model", "cut", "legacy sps", "planned sps", "speedup",
+                     "planned ws KiB", "peak ws KiB"});
+  std::vector<Record> records;
+  bool mismatch = false;
+
+  for (const std::string& name : names) {
+    models::ZooModel model = models::make_model(name, 4, /*seed=*/7);
+    for (const std::size_t cut : model.paper_cut_layers) {
+      nn::InferencePlan plan(model.net, model.input_chw, cut, batch);
+
+      // Warm-up + parity: both paths must agree bitwise before timing.
+      const tensor::Tensor legacy = legacy_extract(model, cut, dataset, batch);
+      const core::ExtractedFeatures planned =
+          core::extract_features(plan, dataset, batch);
+      if (legacy.numel() != planned.values.numel() ||
+          std::memcmp(legacy.data(), planned.values.data(),
+                      static_cast<std::size_t>(legacy.numel()) * sizeof(float)) != 0) {
+        std::fprintf(stderr, "FATAL: %s cut=%zu planned != legacy\n",
+                     name.c_str(), cut);
+        mismatch = true;
+        continue;
+      }
+
+      const double legacy_s = best_seconds(
+          reps, [&] { legacy_extract(model, cut, dataset, batch); });
+      const double planned_s = best_seconds(
+          reps, [&] { core::extract_features(plan, dataset, batch); });
+
+      Record rec;
+      rec.model = name;
+      rec.cut = cut;
+      rec.legacy_sps = n / legacy_s;
+      rec.planned_sps = n / planned_s;
+      rec.planned_bytes = plan.planned_workspace_bytes();
+      rec.peak_bytes = plan.peak_workspace_bytes();
+      records.push_back(rec);
+
+      table.add_row({name, util::cell(static_cast<int>(cut)),
+                     util::cell(rec.legacy_sps, 1),
+                     util::cell(rec.planned_sps, 1),
+                     util::cell(rec.planned_sps / rec.legacy_sps, 2) + "x",
+                     util::cell(static_cast<double>(rec.planned_bytes) / 1024.0, 1),
+                     util::cell(static_cast<double>(rec.peak_bytes) / 1024.0, 1)});
+    }
+  }
+
+  std::printf("\n== inference throughput, batch %lld (bitwise parity verified) ==\n%s",
+              static_cast<long long>(batch), table.to_string().c_str());
+
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(out, "{\n  \"batch\": %lld,\n  \"samples\": %lld,\n  \"results\": [\n",
+                 static_cast<long long>(batch),
+                 static_cast<long long>(dataset.size()));
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      std::fprintf(out,
+                   "    {\"model\": \"%s\", \"cut\": %zu, "
+                   "\"legacy_samples_per_sec\": %.2f, "
+                   "\"planned_samples_per_sec\": %.2f, \"speedup\": %.3f, "
+                   "\"planned_workspace_bytes\": %zu, "
+                   "\"peak_workspace_bytes\": %zu}%s\n",
+                   r.model.c_str(), r.cut, r.legacy_sps, r.planned_sps,
+                   r.planned_sps / r.legacy_sps, r.planned_bytes, r.peak_bytes,
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n", json_path.c_str());
+  }
+  return mismatch ? 1 : 0;
+}

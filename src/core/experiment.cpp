@@ -40,20 +40,34 @@ models::ZooModel& ExperimentContext::model(const std::string& name) {
   return models_.emplace(name, std::move(m)).first->second;
 }
 
+nn::InferencePlan& ExperimentContext::plan(const std::string& name,
+                                           std::size_t cut) {
+  const std::string key = name + "|cut=" + std::to_string(cut);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return *it->second;
+  // model() first: the plan must bind the *pretrained* weights' net.
+  models::ZooModel& m = model(name);
+  auto built = std::make_unique<nn::InferencePlan>(m.net, m.input_chw, cut);
+  return *plans_.emplace(key, std::move(built)).first->second;
+}
+
+nn::InferencePlan& ExperimentContext::full_plan(const std::string& name) {
+  models::ZooModel& m = model(name);
+  return plan(name, m.net.size() - 1);
+}
+
 const tensor::Tensor& ExperimentContext::teacher_train_logits(const std::string& name) {
   auto it = teacher_logits_.find(name);
   if (it != teacher_logits_.end()) return it->second;
-  models::ZooModel& m = model(name);
   NSHD_LOG_INFO("%s: computing teacher logits on the training set", name.c_str());
-  tensor::Tensor logits = nn::predict_logits(m.net, split_.train);
+  tensor::Tensor logits = nn::predict_logits(full_plan(name), split_.train);
   return teacher_logits_.emplace(name, std::move(logits)).first->second;
 }
 
 double ExperimentContext::cnn_test_accuracy(const std::string& name) {
   auto it = cnn_accuracy_.find(name);
   if (it != cnn_accuracy_.end()) return it->second;
-  models::ZooModel& m = model(name);
-  const double acc = nn::evaluate_classifier(m.net, split_.test);
+  const double acc = nn::evaluate_classifier(full_plan(name), split_.test);
   cnn_accuracy_[name] = acc;
   return acc;
 }
@@ -87,7 +101,7 @@ ExtractedFeatures& ExperimentContext::features_impl(const std::string& name,
   } else {
     NSHD_LOG_INFO("%s: extracting features at cut %zu (%s split)", name.c_str(),
                   cut, is_train ? "train" : "test");
-    feats = extract_features(m, cut, ds);
+    feats = extract_features(plan(name, cut), ds);
     cache_.put(disk_key, feats.values.storage());
   }
   return features_.emplace(key, std::move(feats)).first->second;

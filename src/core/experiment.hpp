@@ -41,6 +41,14 @@ class ExperimentContext {
   /// Pretrained zoo model (trains on first access, then disk-cached).
   models::ZooModel& model(const std::string& name);
 
+  /// Shared execution plan for layers [0..cut] of a pretrained model; built
+  /// once per (model, cut) and reused across every sweep cell, epoch, and
+  /// split that extracts at this cut.
+  nn::InferencePlan& plan(const std::string& name, std::size_t cut);
+
+  /// Shared full-network plan (teacher logits, CNN test accuracy).
+  nn::InferencePlan& full_plan(const std::string& name);
+
   /// Full-CNN logits on the training set, [N_train, K] (the KD teacher).
   const tensor::Tensor& teacher_train_logits(const std::string& name);
 
@@ -76,6 +84,8 @@ class ExperimentContext {
   util::DiskCache cache_;
   data::TrainTest split_;
   std::map<std::string, models::ZooModel> models_;
+  // unique_ptr: a plan owns a mutex and is neither movable nor copyable.
+  std::map<std::string, std::unique_ptr<nn::InferencePlan>> plans_;
   std::map<std::string, tensor::Tensor> teacher_logits_;
   std::map<std::string, double> cnn_accuracy_;
   std::map<std::string, ExtractedFeatures> features_;

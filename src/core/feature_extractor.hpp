@@ -5,12 +5,20 @@
 // Extraction is batched and materialized once per dataset — the features are
 // reused across every retraining epoch, mirroring how the paper runs the
 // extractor under TensorRT exactly once per input.
+//
+// Extraction executes through an nn::InferencePlan: batches are sliced as
+// TensorViews straight out of the dataset tensor and activations land
+// directly in the output rows, so the hot loop performs no heap allocation
+// or gather copies.  Batches run in parallel with per-worker workspaces;
+// results are bitwise identical to the legacy allocating forward for any
+// thread count.
 #pragma once
 
 #include <cstdint>
 
 #include "data/dataset.hpp"
 #include "models/zoo.hpp"
+#include "nn/plan.hpp"
 
 namespace nshd::core {
 
@@ -22,13 +30,24 @@ struct ExtractedFeatures {
   std::size_t cut_layer = 0;
 };
 
-/// Runs `model.net` layers [0..cut_layer] over every sample of `dataset`
-/// (eval mode, batched).
+/// Runs a prebuilt plan over every sample of `dataset`.  Use this overload
+/// when the same (model, cut) is extracted repeatedly — the plan's
+/// workspaces are reused across calls.
+ExtractedFeatures extract_features(nn::InferencePlan& plan,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size = 32);
+
+/// Convenience overload: builds a one-shot plan for layers [0..cut_layer]
+/// of `model.net` and extracts through it.
 ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_layer,
                                    const data::Dataset& dataset,
                                    std::int64_t batch_size = 32);
 
-/// Extracts a single image [1, C, H, W] -> flat [F].
+/// Extracts a single image [1, C, H, W] -> flat [F] through a prebuilt plan
+/// (a batch of one on the shared batched path).
+tensor::Tensor extract_one(nn::InferencePlan& plan, const tensor::Tensor& image);
+
+/// Convenience overload building a one-shot batch-1 plan.
 tensor::Tensor extract_one(models::ZooModel& model, std::size_t cut_layer,
                            const tensor::Tensor& image);
 

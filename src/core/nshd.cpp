@@ -6,6 +6,7 @@
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::core {
 
@@ -148,11 +149,16 @@ std::vector<hd::Hypervector> NshdModel::symbolize_all(
     const ExtractedFeatures& features) const {
   const std::int64_t n = features.values.shape()[0];
   const std::int64_t f = features.values.shape()[1];
-  std::vector<hd::Hypervector> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    out.push_back(symbolize(features.values.data() + i * f));
-  }
+  std::vector<hd::Hypervector> out(static_cast<std::size_t>(n));
+  // Sample-parallel like RandomProjection::encode_all: symbolize() is const
+  // and mutation-free, samples write disjoint slots, and the fixed grain
+  // keeps out[i] bitwise identical to the serial loop for any NSHD_THREADS.
+  util::parallel_for(0, n, /*grain=*/1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          symbolize(features.values.data() + i * f);
+    }
+  });
   return out;
 }
 
@@ -161,7 +167,11 @@ std::int64_t NshdModel::predict(const float* features) const {
 }
 
 std::int64_t NshdModel::predict_image(const tensor::Tensor& image) const {
-  const tensor::Tensor features = extract_one(*extractor_, cut_layer_, image);
+  if (!image_plan_) {
+    image_plan_ = std::make_unique<nn::InferencePlan>(
+        extractor_->net, extractor_->input_chw, cut_layer_, /*max_batch=*/1);
+  }
+  const tensor::Tensor features = extract_one(*image_plan_, image);
   return predict(features.data());
 }
 
@@ -171,11 +181,25 @@ double NshdModel::evaluate(const ExtractedFeatures& features,
   assert(static_cast<std::int64_t>(labels.size()) == n);
   if (n == 0) return 0.0;
   const std::int64_t f = features.values.shape()[1];
+  // Refresh the classifier's lazy norm cache serially before the parallel
+  // region (cosine predict reads it), then count matches per fixed chunk and
+  // reduce in chunk order — same contract as HdClassifier::evaluate.
+  (void)classifier_.class_norms();
+  constexpr std::int64_t kGrain = 8;
+  std::vector<std::int64_t> partial(
+      static_cast<std::size_t>(util::chunk_count(0, n, kGrain)), 0);
+  util::parallel_for_chunks(
+      0, n, kGrain, [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+        std::int64_t hits = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          if (predict(features.values.data() + i * f) ==
+              labels[static_cast<std::size_t>(i)])
+            ++hits;
+        }
+        partial[static_cast<std::size_t>(chunk)] = hits;
+      });
   std::int64_t correct = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (predict(features.values.data() + i * f) == labels[static_cast<std::size_t>(i)])
-      ++correct;
-  }
+  for (const std::int64_t hits : partial) correct += hits;
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -161,6 +162,9 @@ class NshdModel {
   std::size_t cut_layer_;
   NshdConfig config_;
   tensor::Shape feature_chw_;
+  /// Lazily-built batch-1 plan so repeated predict_image calls reuse one
+  /// workspace instead of re-planning the extractor every time.
+  mutable std::unique_ptr<nn::InferencePlan> image_plan_;
   std::optional<ManifoldLearner> manifold_;
   hd::RandomProjection projection_;
   hd::HdClassifier classifier_;

@@ -51,6 +51,44 @@ Tensor ActivationLayer::forward(const Tensor& input, bool training) {
   return output;
 }
 
+void ActivationLayer::forward_into(const TensorView& in, TensorView out,
+                                   Workspace& scratch) {
+  (void)scratch;
+  assert(out.numel() == in.numel());
+  const float* src = in.data();
+  float* dst = out.data();
+  const std::int64_t n = in.numel();
+  // Dispatch hoisted out of the loop: each branch applies the exact scalar
+  // expression from activate(), so results stay bitwise identical while the
+  // piecewise-linear kinds vectorize.
+  switch (act_) {
+    case Activation::kReLU:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float x = src[i];
+        dst[i] = x > 0.0f ? x : 0.0f;
+      }
+      break;
+    case Activation::kReLU6:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float x = src[i];
+        dst[i] = x < 0.0f ? 0.0f : (x > 6.0f ? 6.0f : x);
+      }
+      break;
+    case Activation::kSiLU:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float x = src[i];
+        dst[i] = x / (1.0f + std::exp(-x));
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float x = src[i];
+        dst[i] = 1.0f / (1.0f + std::exp(-x));
+      }
+      break;
+  }
+}
+
 Tensor ActivationLayer::backward(const Tensor& grad_output) {
   assert(!cached_input_.empty());
   Tensor grad_input(grad_output.shape());

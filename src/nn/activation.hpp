@@ -16,6 +16,9 @@ class ActivationLayer final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kActivation; }
   std::string name() const override { return to_string(act_); }

@@ -68,6 +68,32 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   return output;
 }
 
+void BatchNorm2d::forward_into(const TensorView& in, TensorView out,
+                               Workspace& scratch) {
+  (void)scratch;
+  assert(in.shape().rank() == 4 && in.shape()[1] == channels_);
+  assert(out.shape() == in.shape());
+  const std::int64_t batch = in.shape()[0];
+  const std::int64_t hw = in.shape()[2] * in.shape()[3];
+
+  // Eval path of forward(): running statistics only, safe in-place because
+  // each element is read once before being written.
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float mean_c = running_mean_[c];
+    const float var_c = running_var_[c];
+    const float inv_std = 1.0f / std::sqrt(var_c + epsilon_);
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* in_plane = in.data() + (n * channels_ + c) * hw;
+      float* out_plane = out.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float x_hat = (in_plane[i] - mean_c) * inv_std;
+        out_plane[i] = g * x_hat + b;
+      }
+    }
+  }
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   assert(!cached_normalized_.empty() && "backward before forward(training=true)");
   const std::int64_t batch = grad_output.shape()[0];

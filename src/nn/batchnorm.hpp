@@ -12,6 +12,9 @@ class BatchNorm2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  bool inplace_eval() const override { return true; }
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kBatchNorm; }

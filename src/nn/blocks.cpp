@@ -77,6 +77,65 @@ Tensor SqueezeExcite::forward(const Tensor& input, bool training) {
   return output;
 }
 
+void SqueezeExcite::forward_into(const TensorView& in, TensorView out,
+                                 Workspace& scratch) {
+  assert(in.shape().rank() == 4 && in.shape()[1] == channels_);
+  assert(out.numel() == in.numel());
+  const std::int64_t batch = in.shape()[0];
+  const std::int64_t hw = in.shape()[2] * in.shape()[3];
+
+  // Same op order as forward(); the gate is fully computed from the input
+  // before the scale loop, so running in place over `in` is safe.
+  Workspace::Frame frame(scratch);
+  float* pooled = scratch.alloc(batch * channels_);
+  float* hidden = scratch.alloc(batch * reduced_);
+  float* hidden_act = scratch.alloc(batch * reduced_);
+  float* gate_pre = scratch.alloc(batch * channels_);
+  float* gate = scratch.alloc(batch * channels_);
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane = in.data() + (n * channels_ + c) * hw;
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) sum += plane[i];
+      pooled[n * channels_ + c] = static_cast<float>(sum / hw);
+    }
+  }
+
+  tensor::gemm_bt(pooled, w1_.value.data(), hidden, batch, channels_, reduced_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t r = 0; r < reduced_; ++r)
+      hidden[n * reduced_ + r] += b1_.value[r];
+
+  for (std::int64_t i = 0; i < batch * reduced_; ++i)
+    hidden_act[i] = activate(act_, hidden[i]);
+
+  tensor::gemm_bt(hidden_act, w2_.value.data(), gate_pre, batch, reduced_,
+                  channels_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t c = 0; c < channels_; ++c)
+      gate_pre[n * channels_ + c] += b2_.value[c];
+
+  for (std::int64_t i = 0; i < batch * channels_; ++i)
+    gate[i] = activate(Activation::kSigmoid, gate_pre[i]);
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float s = gate[n * channels_ + c];
+      const float* in_plane = in.data() + (n * channels_ + c) * hw;
+      float* out_plane = out.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) out_plane[i] = in_plane[i] * s;
+    }
+  }
+}
+
+std::int64_t SqueezeExcite::scratch_floats(const Shape& input) const {
+  assert(input.rank() == 4);
+  const std::int64_t batch = input[0];
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  return batch * (3 * channels_ + 2 * reduced_) + 5 * align;
+}
+
 Tensor SqueezeExcite::backward(const Tensor& grad_output) {
   assert(!cached_input_.empty());
   const Tensor& input = cached_input_;
@@ -185,6 +244,24 @@ Tensor MBConvBlock::forward(const Tensor& input, bool training) {
     for (std::int64_t i = 0; i < out.numel(); ++i) po[i] += pi[i];
   }
   return out;
+}
+
+void MBConvBlock::forward_into(const TensorView& in, TensorView out,
+                               Workspace& scratch) {
+  // The body never writes `in` (its first layer is a conv, and the scheduler
+  // treats the caller's input as read-only), so the residual source survives.
+  body_.forward_into(in, out, scratch);
+  if (residual_) {
+    assert(out.shape() == in.shape());
+    float* po = out.data();
+    const float* pi = in.data();
+    const std::int64_t n = out.numel();
+    for (std::int64_t i = 0; i < n; ++i) po[i] += pi[i];
+  }
+}
+
+std::int64_t MBConvBlock::scratch_floats(const Shape& input) const {
+  return body_.scratch_floats(input);
 }
 
 Tensor MBConvBlock::backward(const Tensor& grad_output) {

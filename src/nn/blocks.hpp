@@ -22,6 +22,10 @@ class SqueezeExcite final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  std::int64_t scratch_floats(const Shape& input) const override;
+  bool inplace_eval() const override { return true; }
   std::vector<Param*> params() override { return {&w1_, &b1_, &w2_, &b2_}; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kBlock; }
@@ -63,6 +67,9 @@ class MBConvBlock final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  std::int64_t scratch_floats(const Shape& input) const override;
   std::vector<Param*> params() override { return body_.params(); }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kBlock; }

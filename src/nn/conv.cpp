@@ -1,5 +1,6 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nn/init.hpp"
@@ -59,6 +60,54 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
     }
   }
   return output;
+}
+
+void Conv2d::forward_into(const TensorView& in, TensorView out,
+                          Workspace& scratch) {
+  assert(in.shape().rank() == 4 && in.shape()[1] == in_channels_);
+  const std::int64_t batch = in.shape()[0];
+  const auto geom = geometry(in.shape()[2], in.shape()[3]);
+  const std::int64_t out_h = geom.out_h(), out_w = geom.out_w();
+  const std::int64_t col_rows = geom.col_rows(), col_cols = geom.col_cols();
+  assert(out.shape() == Shape({batch, out_channels_, out_h, out_w}));
+
+  // For a pointwise conv (k=1, s=1, p=0) the im2col matrix IS the input
+  // plane [C, H*W], so the copy is skipped and the gemm reads the input
+  // directly — same operands, bitwise-identical output.
+  const bool pointwise = kernel_ == 1 && stride_ == 1 && pad_ == 0;
+  // Same im2col + GEMM sequence as forward(); the col buffer persists in the
+  // workspace across samples instead of being reallocated per call.  im2col
+  // writes every element (padding included), so it needs no zeroing.
+  Workspace::Frame frame(scratch);
+  float* col = pointwise ? nullptr : scratch.alloc(col_rows * col_cols);
+  const std::int64_t in_stride = in_channels_ * geom.in_h * geom.in_w;
+  const std::int64_t out_stride = out_channels_ * out_h * out_w;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* rhs;
+    if (pointwise) {
+      rhs = in.data() + n * in_stride;
+    } else {
+      tensor::im2col(in.data() + n * in_stride, geom, col);
+      rhs = col;
+    }
+    tensor::gemm(weight_.value.data(), rhs, out.data() + n * out_stride,
+                 out_channels_, col_rows, col_cols);
+    if (has_bias_) {
+      float* out_n = out.data() + n * out_stride;
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        const float b = bias_.value[o];
+        float* plane = out_n + o * out_h * out_w;
+        for (std::int64_t i = 0; i < out_h * out_w; ++i) plane[i] += b;
+      }
+    }
+  }
+}
+
+std::int64_t Conv2d::scratch_floats(const Shape& input) const {
+  assert(input.rank() == 4);
+  if (kernel_ == 1 && stride_ == 1 && pad_ == 0) return 0;  // pointwise: no col
+  const auto geom = geometry(input[2], input[3]);
+  return geom.col_rows() * geom.col_cols();
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -168,6 +217,79 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool training) {
     }
   }
   return output;
+}
+
+void DepthwiseConv2d::forward_into(const TensorView& in, TensorView out,
+                                   Workspace& scratch) {
+  (void)scratch;
+  assert(in.shape().rank() == 4 && in.shape()[1] == channels_);
+  const std::int64_t batch = in.shape()[0];
+  const std::int64_t in_h = in.shape()[2], in_w = in.shape()[3];
+  const std::int64_t out_h = tensor::conv_out_dim(in_h, kernel_, stride_, pad_);
+  const std::int64_t out_w = tensor::conv_out_dim(in_w, kernel_, stride_, pad_);
+  assert(out.shape() == Shape({batch, channels_, out_h, out_w}));
+
+  // Interior output columns (every kernel tap lands in-bounds):
+  //   ow*stride - pad >= 0             -> ow >= ceil(pad / stride)
+  //   ow*stride - pad + kernel <= in_w -> ow <  (in_w - kernel + pad)/stride + 1
+  const std::int64_t ow_lo = std::min(out_w, (pad_ + stride_ - 1) / stride_);
+  const std::int64_t ow_hi =
+      std::max(ow_lo, std::min(out_w, (in_w - kernel_ + pad_) / stride_ + 1));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* in_plane = in.data() + (n * channels_ + c) * in_h * in_w;
+      const float* w = weight_.value.data() + c * kernel_ * kernel_;
+      float* out_plane = out.data() + (n * channels_ + c) * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        const std::int64_t ih0 = oh * stride_ - pad_;
+        float* out_row = out_plane + oh * out_w;
+        // Border columns (and fully-clipped rows) take the guarded path;
+        // it matches forward() tap for tap.
+        const auto guarded = [&](std::int64_t w0, std::int64_t w1) {
+          for (std::int64_t ow = w0; ow < w1; ++ow) {
+            float sum = 0.0f;
+            for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+              const std::int64_t ih = ih0 + kh;
+              if (ih < 0 || ih >= in_h) continue;
+              for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                const std::int64_t iw = ow * stride_ - pad_ + kw;
+                if (iw < 0 || iw >= in_w) continue;
+                sum += in_plane[ih * in_w + iw] * w[kh * kernel_ + kw];
+              }
+            }
+            out_row[ow] = sum;
+          }
+        };
+        if (ih0 >= 0 && ih0 + kernel_ <= in_h && ow_lo < ow_hi) {
+          guarded(0, ow_lo);
+          guarded(ow_hi, out_w);
+          // Interior: tap-major with no bounds checks.  Each output element
+          // still accumulates its taps in (kh, kw) order starting from zero —
+          // the identical float-addition sequence as the guarded loop — but
+          // the inner trip is contiguous over ow and vectorizes.
+          const std::int64_t count = ow_hi - ow_lo;
+          for (std::int64_t i = 0; i < count; ++i) out_row[ow_lo + i] = 0.0f;
+          for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+            const float* src_row = in_plane + (ih0 + kh) * in_w;
+            for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+              const float wv = w[kh * kernel_ + kw];
+              const float* src = src_row + ow_lo * stride_ - pad_ + kw;
+              float* dst = out_row + ow_lo;
+              if (stride_ == 1) {
+                for (std::int64_t i = 0; i < count; ++i) dst[i] += wv * src[i];
+              } else {
+                for (std::int64_t i = 0; i < count; ++i)
+                  dst[i] += wv * src[i * stride_];
+              }
+            }
+          }
+        } else {
+          guarded(0, out_w);
+        }
+      }
+    }
+  }
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {

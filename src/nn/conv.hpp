@@ -16,6 +16,9 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  std::int64_t scratch_floats(const Shape& input) const override;
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kConv; }
@@ -47,6 +50,8 @@ class DepthwiseConv2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kDepthwiseConv; }

@@ -1,6 +1,22 @@
 #include "nn/layer.hpp"
 
+#include <cassert>
+#include <cstring>
+
 namespace nshd::nn {
+
+void Layer::forward_into(const TensorView& in, TensorView out,
+                         Workspace& scratch) {
+  (void)scratch;
+  // Allocating fallback so new layer types work under plans before they get
+  // a workspace-native implementation.
+  Tensor result = forward(Tensor::from_view(in), /*training=*/false);
+  assert(result.numel() == out.numel() && "forward_into shape mismatch");
+  if (result.numel() > 0) {
+    std::memcpy(out.data(), result.data(),
+                static_cast<std::size_t>(result.numel()) * sizeof(float));
+  }
+}
 
 const char* to_string(LayerKind kind) {
   switch (kind) {

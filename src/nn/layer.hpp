@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace nshd::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+using tensor::TensorView;
+using tensor::Workspace;
 
 /// A trainable parameter: value plus an accumulated gradient of equal shape.
 struct Param {
@@ -59,6 +62,27 @@ class Layer {
   /// Propagates the loss gradient; accumulates into param grads and returns
   /// the gradient with respect to the input.
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Inference-only forward writing into caller-provided memory.  Must match
+  /// forward(input, /*training=*/false) bitwise.  `out` may alias `in` only
+  /// when inplace_eval() is true.  Layer-local temporaries come from
+  /// `scratch` and must be released (Frame) before returning; implementations
+  /// must not mutate layer state so plans can run concurrently.
+  /// The default materializes Tensors and forwards — correct but allocating.
+  virtual void forward_into(const TensorView& in, TensorView out,
+                            Workspace& scratch);
+
+  /// Upper bound on the floats this layer allocs from `scratch` during one
+  /// forward_into with the given (batch-full) input shape.  Used by plans to
+  /// pre-size workspaces; an underestimate only costs an extra arena block.
+  virtual std::int64_t scratch_floats(const Shape& input) const {
+    (void)input;
+    return 0;
+  }
+
+  /// True when forward_into tolerates out.data() == in.data() (elementwise
+  /// or copy-free layers); lets the plan scheduler reuse buffers.
+  virtual bool inplace_eval() const { return false; }
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }

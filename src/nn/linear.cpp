@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include <cassert>
+#include <cstring>
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
@@ -29,6 +30,21 @@ Tensor Linear::forward(const Tensor& input, bool training) {
     for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
   }
   return output;
+}
+
+void Linear::forward_into(const TensorView& in, TensorView out,
+                          Workspace& scratch) {
+  (void)scratch;
+  assert(in.shape().rank() == 2 && in.shape()[1] == in_features_);
+  const std::int64_t batch = in.shape()[0];
+  assert(out.shape() == Shape({batch, out_features_}));
+
+  tensor::gemm_bt(in.data(), weight_.value.data(), out.data(), batch,
+                  in_features_, out_features_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = out.data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
+  }
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
@@ -60,6 +76,16 @@ Tensor Flatten::forward(const Tensor& input, bool training) {
   return input.reshaped(Shape{batch, input.numel() / batch});
 }
 
+void Flatten::forward_into(const TensorView& in, TensorView out,
+                           Workspace& scratch) {
+  (void)scratch;
+  assert(out.numel() == in.numel());
+  // Pure relabeling; only the bytes move (or stay, when run in place).
+  if (out.data() == in.data() || in.numel() == 0) return;
+  std::memcpy(out.data(), in.data(),
+              static_cast<std::size_t>(in.numel()) * sizeof(float));
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
   assert(cached_input_shape_.rank() > 0);
   return grad_output.reshaped(cached_input_shape_);
@@ -85,6 +111,17 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
     out[i] = in[i] * m[i];
   }
   return output;
+}
+
+void Dropout::forward_into(const TensorView& in, TensorView out,
+                           Workspace& scratch) {
+  (void)scratch;
+  assert(out.numel() == in.numel());
+  // Inference dropout is the identity.  Unlike forward(), this leaves mask_
+  // untouched so concurrent plan workers never race on layer state.
+  if (out.data() == in.data() || in.numel() == 0) return;
+  std::memcpy(out.data(), in.data(),
+              static_cast<std::size_t>(in.numel()) * sizeof(float));
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

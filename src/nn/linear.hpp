@@ -13,6 +13,8 @@ class Linear final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kLinear; }
@@ -40,6 +42,9 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kFlatten; }
   std::string name() const override { return "Flatten"; }
@@ -56,6 +61,9 @@ class Dropout final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kDropout; }
   std::string name() const override {

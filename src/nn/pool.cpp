@@ -48,6 +48,38 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
   return output;
 }
 
+void MaxPool2d::forward_into(const TensorView& in, TensorView out,
+                             Workspace& scratch) {
+  (void)scratch;
+  assert(in.shape().rank() == 4);
+  const std::int64_t batch = in.shape()[0], channels = in.shape()[1];
+  const std::int64_t in_h = in.shape()[2], in_w = in.shape()[3];
+  const std::int64_t out_h = (in_h - kernel_) / stride_ + 1;
+  const std::int64_t out_w = (in_w - kernel_) / stride_ + 1;
+  assert(out.shape() == Shape({batch, channels, out_h, out_w}));
+
+  std::int64_t out_idx = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = in.data() + (n * channels + c) * in_h * in_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+            const std::int64_t ih = oh * stride_ + kh;
+            for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+              const std::int64_t iw = ow * stride_ + kw;
+              const float v = plane[ih * in_w + iw];
+              if (v > best) best = v;
+            }
+          }
+          out[out_idx] = best;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   assert(!cached_argmax_.empty());
   Tensor grad_input(cached_input_shape_);
@@ -80,6 +112,24 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
     }
   }
   return output;
+}
+
+void GlobalAvgPool::forward_into(const TensorView& in, TensorView out,
+                                 Workspace& scratch) {
+  (void)scratch;
+  assert(in.shape().rank() == 4);
+  const std::int64_t batch = in.shape()[0], channels = in.shape()[1];
+  const std::int64_t hw = in.shape()[2] * in.shape()[3];
+  assert(out.shape() == Shape({batch, channels, 1, 1}));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float* plane = in.data() + (n * channels + c) * hw;
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) sum += plane[i];
+      out[n * channels + c] = static_cast<float>(sum / hw);
+    }
+  }
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {

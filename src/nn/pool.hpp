@@ -14,6 +14,8 @@ class MaxPool2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kMaxPool; }
   std::string name() const override {
@@ -34,6 +36,8 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kAvgPool; }
   std::string name() const override { return "GlobalAvgPool"; }

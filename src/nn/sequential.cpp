@@ -1,5 +1,8 @@
 #include "nn/sequential.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +37,80 @@ Tensor Sequential::forward_to(const Tensor& input, std::size_t last_layer) {
     x = layers_[i]->forward(x, /*training=*/false);
   }
   return x;
+}
+
+void Sequential::forward_into_to(const TensorView& in, TensorView out,
+                                 Workspace& ws, std::size_t last_layer) {
+  check_layer_index(last_layer, layers_.size(), "Sequential::forward_into_to");
+
+  // Shape pass: the two ping-pong slabs are sized at the largest
+  // intermediate output (the final output lands in `out` directly).
+  std::vector<Shape> shapes(last_layer + 1);
+  Shape s = in.shape();
+  std::int64_t max_inter = 0;
+  for (std::size_t i = 0; i <= last_layer; ++i) {
+    s = layers_[i]->output_shape(s);
+    shapes[i] = s;
+    if (i < last_layer) max_inter = std::max(max_inter, s.numel());
+  }
+  assert(out.numel() == shapes[last_layer].numel());
+
+  Workspace::Frame frame(ws);
+  float* slabs[2] = {ws.alloc(max_inter), ws.alloc(max_inter)};
+
+  TensorView cur = in;
+  int cur_slab = -1;  // -1: still reading the caller's (read-only) input
+  for (std::size_t i = 0; i <= last_layer; ++i) {
+    Layer& layer = *layers_[i];
+    TensorView target;
+    int target_slab = cur_slab;
+    if (i == last_layer) {
+      target = TensorView(out.data(), shapes[i]);
+    } else if (layer.inplace_eval() && cur_slab >= 0) {
+      // Relabel the slab in place; numel is preserved by in-place layers.
+      target = TensorView(cur.data(), shapes[i]);
+    } else {
+      target_slab = cur_slab == 0 ? 1 : 0;
+      target = TensorView(slabs[target_slab], shapes[i]);
+    }
+    layer.forward_into(cur, target, ws);
+    cur = target;
+    cur_slab = target_slab;
+  }
+}
+
+void Sequential::forward_into(const TensorView& in, TensorView out,
+                              Workspace& scratch) {
+  if (layers_.empty()) {
+    assert(out.numel() == in.numel());
+    if (out.data() != in.data() && in.numel() > 0) {
+      std::memcpy(out.data(), in.data(),
+                  static_cast<std::size_t>(in.numel()) * sizeof(float));
+    }
+    return;
+  }
+  forward_into_to(in, out, scratch, layers_.size() - 1);
+}
+
+std::int64_t Sequential::scratch_floats(const Shape& input) const {
+  if (layers_.empty()) return 0;
+  return scratch_floats_to(input, layers_.size() - 1);
+}
+
+std::int64_t Sequential::scratch_floats_to(const Shape& input,
+                                           std::size_t last_layer) const {
+  check_layer_index(last_layer, layers_.size(), "Sequential::scratch_floats_to");
+  Shape s = input;
+  std::int64_t max_inter = 0, max_layer_scratch = 0;
+  for (std::size_t i = 0; i <= last_layer; ++i) {
+    max_layer_scratch =
+        std::max(max_layer_scratch, layers_[i]->scratch_floats(s));
+    s = layers_[i]->output_shape(s);
+    if (i < last_layer) max_inter = std::max(max_inter, s.numel());
+  }
+  // Slack for the arena rounding each alloc up to its alignment quantum.
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  return 2 * (max_inter + align) + max_layer_scratch;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {

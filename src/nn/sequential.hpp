@@ -27,6 +27,23 @@ class Sequential final : public Layer {
   /// `last_layer` = size()-1 is equivalent to full forward.
   Tensor forward_to(const Tensor& input, std::size_t last_layer);
 
+  /// Workspace-backed inference through layers [0, last_layer] inclusive.
+  /// Intermediates ping-pong between two workspace slabs sized at the
+  /// largest intermediate; in-place-capable layers (activation, eval
+  /// batch-norm, flatten, dropout, SE) reuse the current slab.  `in` is
+  /// never written; the final layer writes straight into `out`.
+  void forward_into_to(const TensorView& in, TensorView out, Workspace& ws,
+                       std::size_t last_layer);
+
+  void forward_into(const TensorView& in, TensorView out,
+                    Workspace& scratch) override;
+  std::int64_t scratch_floats(const Shape& input) const override;
+
+  /// Workspace floats needed by forward_into_to with this input shape:
+  /// two ping-pong slabs plus the largest per-layer scratch.
+  std::int64_t scratch_floats_to(const Shape& input,
+                                 std::size_t last_layer) const;
+
   Tensor backward(const Tensor& grad_output) override;
 
   std::vector<Param*> params() override;

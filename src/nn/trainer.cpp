@@ -5,10 +5,12 @@
 #include <cstring>
 #include <limits>
 
+#include "nn/plan.hpp"
 #include "tensor/ops.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::nn {
 
@@ -226,43 +228,54 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
   return report;
 }
 
+tensor::Tensor predict_logits(InferencePlan& plan, const data::Dataset& dataset,
+                              std::int64_t batch_size) {
+  const std::int64_t total = dataset.size();
+  if (total == 0) return tensor::Tensor();
+  const std::int64_t k = plan.out_features();
+  const std::int64_t sample_numel = dataset.sample_shape().numel();
+  const tensor::Shape& chw = plan.sample_chw();
+  tensor::Tensor all(tensor::Shape{total, k});
+
+  // Batches write disjoint logit rows; each leases its own plan workspace.
+  const tensor::TensorView images = dataset.images.view();
+  const tensor::TensorView rows = all.view();
+  util::parallel_for(0, total, batch_size,
+                     [&](std::int64_t begin, std::int64_t end) {
+    const std::int64_t n = end - begin;
+    const tensor::TensorView in(images.data() + begin * sample_numel,
+                                tensor::Shape{n, chw[0], chw[1], chw[2]});
+    tensor::TensorView out(rows.data() + begin * k, tensor::Shape{n, k});
+    plan.run_batch(in, out);
+  });
+  return all;
+}
+
+double evaluate_classifier(InferencePlan& plan, const data::Dataset& dataset,
+                           std::int64_t batch_size) {
+  const std::int64_t total = dataset.size();
+  if (total == 0) return 0.0;
+  const tensor::Tensor logits = predict_logits(plan, dataset, batch_size);
+  std::int64_t correct = 0;
+  for (std::int64_t n = 0; n < total; ++n) {
+    if (tensor::argmax_row(logits, n) == dataset.labels[static_cast<std::size_t>(n)])
+      ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
 double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
                            std::int64_t batch_size) {
   if (dataset.size() == 0) return 0.0;
-  util::Rng rng(1);
-  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
-  tensor::Tensor images;
-  std::vector<std::int64_t> labels;
-  std::int64_t correct = 0, seen = 0;
-  while (batches.next(images, labels)) {
-    const tensor::Tensor logits = model.forward(images, /*training=*/false);
-    for (std::int64_t n = 0; n < logits.shape()[0]; ++n) {
-      if (tensor::argmax_row(logits, n) == labels[static_cast<std::size_t>(n)]) ++correct;
-      ++seen;
-    }
-  }
-  return static_cast<double>(correct) / std::max<std::int64_t>(1, seen);
+  InferencePlan plan(model, dataset.sample_shape(), model.size() - 1, batch_size);
+  return evaluate_classifier(plan, dataset, batch_size);
 }
 
 tensor::Tensor predict_logits(Sequential& model, const data::Dataset& dataset,
                               std::int64_t batch_size) {
   if (dataset.size() == 0) return tensor::Tensor();
-  util::Rng rng(1);
-  data::BatchIterator batches(dataset, batch_size, rng, /*shuffle=*/false);
-  tensor::Tensor images;
-  std::vector<std::int64_t> labels;
-  tensor::Tensor all;
-  std::int64_t row = 0;
-  while (batches.next(images, labels)) {
-    const tensor::Tensor logits = model.forward(images, /*training=*/false);
-    if (all.empty()) {
-      all = tensor::Tensor(tensor::Shape{dataset.size(), logits.shape()[1]});
-    }
-    std::memcpy(all.data() + row * logits.shape()[1], logits.data(),
-                static_cast<std::size_t>(logits.numel()) * sizeof(float));
-    row += logits.shape()[0];
-  }
-  return all;
+  InferencePlan plan(model, dataset.sample_shape(), model.size() - 1, batch_size);
+  return predict_logits(plan, dataset, batch_size);
 }
 
 }  // namespace nshd::nn

@@ -12,6 +12,7 @@
 #include "data/dataset.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/plan.hpp"
 #include "nn/sequential.hpp"
 #include "util/checkpoint.hpp"
 #include "util/rng.hpp"
@@ -86,14 +87,23 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
                              const EpochHook& on_epoch = {},
                              const TrainCheckpoint* resume = nullptr);
 
-/// Inference accuracy of `model` on `dataset` (batched, eval mode).
-/// An empty dataset evaluates to 0.0.
+/// Inference accuracy of `model` on `dataset` (batched, eval mode, via a
+/// one-shot full-net InferencePlan).  An empty dataset evaluates to 0.0.
 double evaluate_classifier(Sequential& model, const data::Dataset& dataset,
+                           std::int64_t batch_size = 64);
+
+/// Plan-reusing overload for repeated evaluation of the same model.
+double evaluate_classifier(InferencePlan& plan, const data::Dataset& dataset,
                            std::int64_t batch_size = 64);
 
 /// Full-model logits for every sample (eval mode), shape [N, K].
 /// An empty dataset yields an empty tensor.
 tensor::Tensor predict_logits(Sequential& model, const data::Dataset& dataset,
+                              std::int64_t batch_size = 64);
+
+/// Plan-reusing overload; batches run in parallel with per-worker
+/// workspaces and write disjoint rows of the result.
+tensor::Tensor predict_logits(InferencePlan& plan, const data::Dataset& dataset,
                               std::int64_t batch_size = 64);
 
 }  // namespace nshd::nn

@@ -7,12 +7,14 @@
 // instead, which keeps the framework small and the indexing bug-free.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "tensor/shape.hpp"
+#include "tensor/view.hpp"
 
 namespace nshd::tensor {
 
@@ -30,12 +32,21 @@ class Tensor {
     assert(static_cast<std::int64_t>(data_.size()) == shape_.numel());
   }
 
+  /// Deep copy of workspace- or caller-owned memory into owning storage.
+  explicit Tensor(const TensorView& view) : shape_(view.shape()) {
+    assert(reinterpret_cast<std::uintptr_t>(view.data()) % alignof(float) == 0 &&
+           "misaligned view");
+    assert((view.data() != nullptr || view.numel() == 0) && "null view");
+    if (view.numel() > 0) data_.assign(view.data(), view.data() + view.numel());
+  }
+
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value) {
     Tensor t(std::move(shape));
-    for (auto& x : t.data_) x = value;
+    std::fill(t.data_.begin(), t.data_.end(), value);
     return t;
   }
+  static Tensor from_view(const TensorView& view) { return Tensor(view); }
 
   const Shape& shape() const { return shape_; }
   std::int64_t numel() const { return shape_.numel(); }
@@ -86,9 +97,15 @@ class Tensor {
     return Tensor(std::move(new_shape), data_);
   }
 
-  void fill(float value) {
-    for (auto& x : data_) x = value;
+  /// Mutable / read-only views over the whole tensor (no copy).
+  TensorView view() { return TensorView(data_.data(), shape_); }
+  TensorView view() const {
+    // Views carry pointer semantics like std::span; callers of the planned
+    // inference path treat input views as read-only.
+    return TensorView(const_cast<float*>(data_.data()), shape_);
   }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
   void zero() { fill(0.0f); }
 

@@ -1,0 +1,52 @@
+// Non-owning tensor view over contiguous row-major float storage.
+//
+// TensorView is the currency of the planned inference path: kernels write
+// into workspace- or caller-owned memory instead of allocating fresh
+// std::vector<float> storage per call.  A view carries pointer semantics —
+// copying a view aliases the same memory — and deliberately has no
+// const/mutable split (like std::span<float>); APIs that only read document
+// it at the call site.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "tensor/shape.hpp"
+
+namespace nshd::tensor {
+
+class TensorView {
+ public:
+  TensorView() = default;
+
+  TensorView(float* data, Shape shape) : data_(data), shape_(std::move(shape)) {
+    assert((data_ != nullptr || shape_.numel() == 0) && "null view with elements");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return shape_.numel() == 0; }
+
+  float* data() const { return data_; }
+  std::span<float> span() const {
+    return {data_, static_cast<std::size_t>(numel())};
+  }
+
+  float& operator[](std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[i];
+  }
+
+  /// Same memory under a different shape (equal numel).
+  TensorView reshaped(Shape new_shape) const {
+    assert(new_shape.numel() == numel());
+    return TensorView(data_, std::move(new_shape));
+  }
+
+ private:
+  float* data_ = nullptr;
+  Shape shape_;
+};
+
+}  // namespace nshd::tensor

@@ -1,0 +1,69 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace nshd::tensor {
+
+namespace {
+constexpr std::size_t kMinBlockFloats = 4096;  // 16 KiB floor per block
+
+std::size_t align_up(std::size_t floats) {
+  return (floats + Workspace::kAlignFloats - 1) & ~(Workspace::kAlignFloats - 1);
+}
+}  // namespace
+
+void Workspace::add_block(std::size_t floats) {
+  // Geometric growth keeps the block list short when estimates were low.
+  const std::size_t last = blocks_.empty() ? 0 : blocks_.back().capacity;
+  const std::size_t capacity =
+      std::max({align_up(floats), 2 * last, kMinBlockFloats});
+  Block block;
+  block.data.reset(static_cast<float*>(
+      std::aligned_alloc(kAlignBytes, capacity * sizeof(float))));
+  assert(block.data != nullptr && "workspace allocation failed");
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+}
+
+void Workspace::reserve(std::size_t floats) {
+  if (floats > capacity_floats()) add_block(floats - capacity_floats());
+}
+
+float* Workspace::alloc(std::int64_t numel) {
+  assert(numel >= 0);
+  if (numel == 0) return nullptr;
+  const std::size_t need = align_up(static_cast<std::size_t>(numel));
+  // Advance to the first block that fits; skipped tails stay unused until
+  // the next reset/Frame rewind.
+  while (cur_block_ < blocks_.size() &&
+         cur_offset_ + need > blocks_[cur_block_].capacity) {
+    ++cur_block_;
+    cur_offset_ = 0;
+  }
+  if (cur_block_ >= blocks_.size()) {
+    add_block(need);
+    cur_block_ = blocks_.size() - 1;
+    cur_offset_ = 0;
+  }
+  float* out = blocks_[cur_block_].data.get() + cur_offset_;
+  cur_offset_ += need;
+  in_use_ += need;
+  peak_ = std::max(peak_, in_use_);
+  return out;
+}
+
+void Workspace::reset() {
+  cur_block_ = 0;
+  cur_offset_ = 0;
+  in_use_ = 0;
+}
+
+std::size_t Workspace::capacity_floats() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+}  // namespace nshd::tensor

@@ -1,0 +1,338 @@
+// Tests for the planned inference engine: tensor::Workspace arena
+// semantics, InferencePlan parity with the legacy allocating forward
+// (bitwise, across every zoo model and cut point), plan-based extraction
+// and evaluation, and thread-safety of concurrent run_batch calls.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/feature_extractor.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "nn/activation.hpp"
+#include "nn/plan.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/workspace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nshd {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorView;
+using tensor::Workspace;
+
+// --- Workspace ---
+
+TEST(Workspace, AllocsAreAlignedAndDisjoint) {
+  Workspace ws;
+  float* a = ws.alloc(10);
+  float* b = ws.alloc(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % Workspace::kAlignBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % Workspace::kAlignBytes, 0u);
+  // Aligned bump: b starts at least 10 floats past a.
+  EXPECT_GE(b, a + 10);
+  EXPECT_EQ(ws.alloc(0), nullptr);
+}
+
+TEST(Workspace, SpansSurviveGrowth) {
+  Workspace ws;  // no reserve: the first alloc creates a minimal block
+  float* small = ws.alloc(8);
+  for (int i = 0; i < 8; ++i) small[i] = static_cast<float>(i);
+  // Way past any existing capacity: must append a block, not reallocate.
+  float* big = ws.alloc(1 << 20);
+  ASSERT_NE(big, nullptr);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(small[i], static_cast<float>(i));
+}
+
+TEST(Workspace, ResetRewindsToStart) {
+  Workspace ws(256);
+  float* first = ws.alloc(64);
+  ws.alloc(64);
+  EXPECT_GT(ws.in_use_floats(), 0u);
+  ws.reset();
+  EXPECT_EQ(ws.in_use_floats(), 0u);
+  EXPECT_EQ(ws.alloc(64), first);  // same storage handed out again
+}
+
+TEST(Workspace, FrameReleasesScopedAllocations) {
+  Workspace ws(1024);
+  ws.alloc(64);
+  const std::size_t before = ws.in_use_floats();
+  float* inner_first = nullptr;
+  {
+    Workspace::Frame frame(ws);
+    inner_first = ws.alloc(128);
+    EXPECT_GT(ws.in_use_floats(), before);
+  }
+  EXPECT_EQ(ws.in_use_floats(), before);
+  EXPECT_EQ(ws.alloc(128), inner_first);  // frame memory is reusable
+}
+
+TEST(Workspace, PeakTracksHighWater) {
+  Workspace ws(1024);
+  ws.alloc(100);
+  const std::size_t peak_after_100 = ws.peak_floats();
+  EXPECT_GE(peak_after_100, 100u);
+  ws.reset();
+  ws.alloc(50);
+  EXPECT_EQ(ws.peak_floats(), peak_after_100);  // peak never shrinks
+  EXPECT_EQ(ws.peak_bytes(), peak_after_100 * sizeof(float));
+}
+
+TEST(Workspace, ReserveGrowsCapacityOnly) {
+  Workspace ws;
+  ws.reserve(4096);
+  EXPECT_GE(ws.capacity_floats(), 4096u);
+  EXPECT_EQ(ws.in_use_floats(), 0u);
+  EXPECT_EQ(ws.peak_floats(), 0u);
+}
+
+// --- Parity helpers ---
+
+void expect_bitwise_equal(const Tensor& planned, const Tensor& legacy,
+                          const std::string& what) {
+  ASSERT_EQ(planned.numel(), legacy.numel()) << what;
+  if (planned.numel() == 0) return;
+  const int cmp =
+      std::memcmp(planned.data(), legacy.data(),
+                  static_cast<std::size_t>(planned.numel()) * sizeof(float));
+  if (cmp != 0) {
+    for (std::int64_t i = 0; i < planned.numel(); ++i) {
+      ASSERT_EQ(planned[i], legacy[i])
+          << what << ": first value mismatch at flat index " << i;
+    }
+  }
+  EXPECT_EQ(cmp, 0) << what;
+}
+
+data::Dataset small_dataset(std::int64_t num_classes, std::int64_t per_class) {
+  data::SynthCifarConfig config;
+  config.num_classes = num_classes;
+  config.samples_per_class = per_class;
+  return data::make_synth_cifar(config);
+}
+
+/// Copies samples [begin, begin+n) of `ds` into a standalone batch tensor.
+Tensor batch_of(const data::Dataset& ds, std::int64_t begin, std::int64_t n) {
+  const std::int64_t s = ds.sample_shape().numel();
+  const TensorView all = ds.images.view();
+  return Tensor::from_view(TensorView(
+      all.data() + begin * s, Shape{n, ds.channels(), ds.height(), ds.width()}));
+}
+
+/// Planned forward of the same slice through `plan`.
+Tensor planned_batch(nn::InferencePlan& plan, const data::Dataset& ds,
+                     std::int64_t begin, std::int64_t n) {
+  const std::int64_t s = ds.sample_shape().numel();
+  const TensorView all = ds.images.view();
+  const TensorView in(all.data() + begin * s,
+                      Shape{n, ds.channels(), ds.height(), ds.width()});
+  Tensor out(plan.output_shape(n));
+  plan.run_batch(in, out.view());
+  return out;
+}
+
+void check_model_parity(const std::string& name) {
+  models::ZooModel m = models::make_model(name, 4, /*seed=*/3);
+  const data::Dataset ds = small_dataset(4, 8);  // 32 samples
+  ASSERT_GE(ds.size(), 32);
+
+  // Every valid cut at an odd batch size.
+  for (std::size_t cut = 0; cut < m.feature_count; ++cut) {
+    nn::InferencePlan plan(m.net, m.input_chw, cut, /*max_batch=*/7);
+    EXPECT_EQ(plan.output_shape(7),
+              m.net.output_shape_at(Shape{7, 3, 32, 32}, cut));
+    const Tensor legacy = m.net.forward_to(batch_of(ds, 0, 7), cut);
+    const Tensor planned = planned_batch(plan, ds, 0, 7);
+    expect_bitwise_equal(planned, legacy,
+                         name + " cut=" + std::to_string(cut) + " batch=7");
+  }
+
+  // The paper's cut points at the batch-size extremes (1 and 32).
+  for (std::size_t cut : m.paper_cut_layers) {
+    nn::InferencePlan plan(m.net, m.input_chw, cut, /*max_batch=*/32);
+    for (std::int64_t batch : {std::int64_t{1}, std::int64_t{32}}) {
+      const Tensor legacy = m.net.forward_to(batch_of(ds, 0, batch), cut);
+      const Tensor planned = planned_batch(plan, ds, 0, batch);
+      expect_bitwise_equal(planned, legacy,
+                           name + " cut=" + std::to_string(cut) + " batch=" +
+                               std::to_string(batch));
+    }
+    EXPECT_GT(plan.peak_workspace_bytes(), 0u);
+  }
+}
+
+// --- InferencePlan parity: every model x every cut ---
+
+TEST(PlanParity, Vgg16sAllCuts) { check_model_parity("vgg16s"); }
+TEST(PlanParity, MobileNetV2sAllCuts) { check_model_parity("mobilenetv2s"); }
+TEST(PlanParity, EfficientNetB0sAllCuts) { check_model_parity("efficientnet_b0s"); }
+TEST(PlanParity, EfficientNetB7sAllCuts) { check_model_parity("efficientnet_b7s"); }
+
+TEST(PlanParity, FullNetworkLogits) {
+  models::ZooModel m = models::make_model("mobilenetv2s", 4, 3);
+  const data::Dataset ds = small_dataset(4, 8);
+  const std::size_t last = m.net.size() - 1;
+  nn::InferencePlan plan(m.net, m.input_chw, last, 32);
+  const Tensor legacy = m.net.forward_to(batch_of(ds, 0, ds.size()), last);
+  const Tensor planned = planned_batch(plan, ds, 0, ds.size());
+  expect_bitwise_equal(planned, legacy, "full-net logits");
+  EXPECT_EQ(planned.shape(), (Shape{ds.size(), 4}));
+}
+
+TEST(PlanParity, DefaultForwardIntoFallback) {
+  // A layer without a workspace-native forward_into must still run correctly
+  // under a plan, through the allocating base-class fallback.
+  class ScaleLayer final : public nn::Layer {
+   public:
+    Tensor forward(const Tensor& input, bool) override {
+      Tensor out(input.shape());
+      for (std::int64_t i = 0; i < input.numel(); ++i) out[i] = 2.0f * input[i];
+      return out;
+    }
+    Tensor backward(const Tensor& grad) override { return grad; }
+    Shape output_shape(const Shape& input) const override { return input; }
+    nn::LayerKind kind() const override { return nn::LayerKind::kActivation; }
+    std::string name() const override { return "Scale2x"; }
+  };
+
+  nn::Sequential net;
+  net.add(std::make_unique<ScaleLayer>());
+  net.emplace<nn::ActivationLayer>(nn::Activation::kReLU);
+  net.add(std::make_unique<ScaleLayer>());
+
+  Tensor in(Shape{3, 2, 4, 4});
+  for (std::int64_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(i % 7) - 3.0f;
+
+  nn::InferencePlan plan(net, Shape{2, 4, 4}, net.size() - 1, 3);
+  const Tensor planned = plan.run_batch(in);
+  const Tensor legacy = net.forward_to(in, net.size() - 1);
+  expect_bitwise_equal(planned, legacy, "fallback layer");
+}
+
+// --- Plan-based extraction and evaluation ---
+
+TEST(PlanExtraction, ExtractOneMatchesBatchedRow) {
+  models::ZooModel m = models::make_model("mobilenetv2s", 4, 3);
+  const data::Dataset ds = small_dataset(4, 3);
+  nn::InferencePlan plan(m.net, m.input_chw, 5, 5);
+
+  const core::ExtractedFeatures feats =
+      core::extract_features(plan, ds, /*batch_size=*/5);
+  EXPECT_EQ(feats.values.shape()[0], ds.size());
+  EXPECT_EQ(feats.values.shape()[1], m.feature_dim_at(5));
+  EXPECT_EQ(feats.chw, m.feature_shape_at(5));
+
+  const Tensor one = core::extract_one(plan, ds.sample(7));
+  const std::int64_t f = feats.values.shape()[1];
+  ASSERT_EQ(one.numel(), f);
+  for (std::int64_t i = 0; i < f; ++i) {
+    EXPECT_EQ(feats.values.at(7, i), one[i]) << "feature " << i;
+  }
+}
+
+TEST(PlanExtraction, EmptyDatasetYieldsEmptyRows) {
+  models::ZooModel m = models::make_model("efficientnet_b0s", 4, 3);
+  data::Dataset empty;
+  empty.num_classes = 4;
+  nn::InferencePlan plan(m.net, m.input_chw, 2, 4);
+  const core::ExtractedFeatures feats = core::extract_features(plan, empty);
+  EXPECT_EQ(feats.values.shape()[0], 0);
+  EXPECT_EQ(feats.values.numel(), 0);
+  EXPECT_EQ(feats.chw.numel(), m.feature_dim_at(2));
+
+  EXPECT_EQ(nn::evaluate_classifier(m.net, empty), 0.0);
+  EXPECT_TRUE(nn::predict_logits(m.net, empty).empty());
+}
+
+TEST(PlanExtraction, EvaluateClassifierMatchesManualLoop) {
+  models::ZooModel m = models::make_model("mobilenetv2s", 4, 3);
+  const data::Dataset ds = small_dataset(4, 8);
+
+  std::int64_t correct = 0;
+  const Tensor logits = m.net.forward_to(batch_of(ds, 0, ds.size()),
+                                         m.net.size() - 1);
+  for (std::int64_t n = 0; n < ds.size(); ++n) {
+    std::int64_t best = 0;
+    for (std::int64_t k = 1; k < 4; ++k)
+      if (logits.at(n, k) > logits.at(n, best)) best = k;
+    if (best == ds.labels[static_cast<std::size_t>(n)]) ++correct;
+  }
+  const double expected = static_cast<double>(correct) /
+                          static_cast<double>(ds.size());
+  EXPECT_EQ(nn::evaluate_classifier(m.net, ds, /*batch_size=*/7), expected);
+
+  const Tensor pl = nn::predict_logits(m.net, ds, /*batch_size=*/7);
+  expect_bitwise_equal(pl, logits, "predict_logits");
+}
+
+// --- Determinism and thread safety ---
+
+TEST(PlanThreading, ExtractionIsThreadCountInvariant) {
+  models::ZooModel m = models::make_model("efficientnet_b0s", 4, 3);
+  const data::Dataset ds = small_dataset(4, 8);
+  nn::InferencePlan plan(m.net, m.input_chw, 4, 8);
+
+  const int original = util::thread_count();
+  util::set_thread_count(1);
+  const core::ExtractedFeatures serial = core::extract_features(plan, ds, 8);
+  util::set_thread_count(4);
+  const core::ExtractedFeatures parallel = core::extract_features(plan, ds, 8);
+  util::set_thread_count(original);
+
+  expect_bitwise_equal(parallel.values, serial.values, "thread invariance");
+}
+
+TEST(PlanThreading, ConcurrentRunBatchIsSafe) {
+  models::ZooModel m = models::make_model("efficientnet_b0s", 4, 3);
+  const data::Dataset ds = small_dataset(4, 8);  // 32 samples
+  nn::InferencePlan plan(m.net, m.input_chw, 3, 8);
+  const std::int64_t f = plan.out_features();
+  const std::int64_t s = ds.sample_shape().numel();
+
+  // Reference, computed serially through the same plan.
+  const core::ExtractedFeatures reference = core::extract_features(plan, ds, 8);
+
+  // Four raw threads hammer the plan concurrently on disjoint output rows.
+  Tensor out(Shape{ds.size(), f});
+  const TensorView images = ds.images.view();
+  const TensorView rows = out.view();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const std::int64_t begin = t * 8;
+      const TensorView in(images.data() + begin * s, Shape{8, 3, 32, 32});
+      TensorView slice(rows.data() + begin * f, Shape{8, f});
+      plan.run_batch(in, slice);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  expect_bitwise_equal(out, reference.values, "concurrent run_batch");
+  EXPECT_GE(plan.workspace_count(), 1u);
+}
+
+TEST(PlanReporting, WorkspaceBudgetIsReported) {
+  models::ZooModel m = models::make_model("mobilenetv2s", 4, 3);
+  nn::InferencePlan plan(m.net, m.input_chw, 10, 16);
+  EXPECT_GT(plan.planned_workspace_bytes(), 0u);
+  EXPECT_EQ(plan.peak_workspace_bytes(), 0u);  // nothing run yet
+
+  const data::Dataset ds = small_dataset(4, 4);
+  core::extract_features(plan, ds, 16);
+  EXPECT_GT(plan.peak_workspace_bytes(), 0u);
+  // The shape-inferred budget must cover the observed high water; if this
+  // fails, scratch_floats underestimates and plans grow mid-flight.
+  EXPECT_LE(plan.peak_workspace_bytes(), plan.planned_workspace_bytes());
+}
+
+}  // namespace
+}  // namespace nshd

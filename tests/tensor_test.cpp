@@ -70,6 +70,50 @@ TEST(Tensor, ReshapedSharesValues) {
   EXPECT_EQ(r.numel(), t.numel());
 }
 
+TEST(Tensor, ViewSharesStorage) {
+  Tensor t(Shape{2, 3});
+  TensorView v = t.view();
+  EXPECT_EQ(v.data(), t.data());
+  EXPECT_EQ(v.shape(), t.shape());
+  v[4] = 6.0f;
+  EXPECT_EQ(t.at(1, 1), 6.0f);
+
+  const Tensor& ct = t;
+  TensorView cv = ct.view();
+  EXPECT_EQ(cv.data(), ct.data());
+}
+
+TEST(Tensor, FromViewCopiesValues) {
+  Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  Tensor copy = Tensor::from_view(t.view());
+  EXPECT_EQ(copy.shape(), t.shape());
+  EXPECT_NE(copy.data(), t.data());
+  copy[0] = 99.0f;  // deep copy: the source is untouched
+  EXPECT_EQ(t[0], 0.0f);
+  for (std::int64_t i = 1; i < t.numel(); ++i) EXPECT_EQ(copy[i], t[i]);
+}
+
+TEST(Tensor, FromViewReshapedSlice) {
+  // A view may reinterpret a sub-span with a different shape; from_view must
+  // honor the view's shape, not the owning tensor's.
+  Tensor t(Shape{4, 4});
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  TensorView row2(t.data() + 8, Shape{2, 2, 2});
+  Tensor copy = Tensor::from_view(row2);
+  EXPECT_EQ(copy.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(copy[0], 8.0f);
+  EXPECT_EQ(copy[7], 15.0f);
+}
+
+TEST(Tensor, FromEmptyView) {
+  Tensor zero(Shape{0, 5});
+  Tensor copy = Tensor::from_view(zero.view());
+  EXPECT_EQ(copy.numel(), 0);
+  EXPECT_EQ(copy.shape(), (Shape{0, 5}));
+  EXPECT_TRUE(copy.empty());
+}
+
 // --- GEMM kernels against a naive reference ---
 
 void naive_gemm(const Tensor& a, const Tensor& b, Tensor& c) {
