@@ -1,0 +1,322 @@
+// GEMM micro-kernel throughput: scalar reference vs the SIMD layer.
+//
+// Each kernel is timed three ways: `scalar` — a textbook single-accumulator
+// triple loop (dot-product form, which the compiler cannot auto-vectorize
+// without -ffast-math, so it is an honest scalar baseline); `prev` — the
+// pre-SIMD repository kernel (blocked ikj with the zero-skip branch, which
+// GCC partially auto-vectorizes), kept so the trajectory across PRs stays
+// visible; and `simd` — the register-blocked micro-kernels of
+// tensor/gemm.cpp.  SIMD output is checked against the scalar reference
+// before timing; any excursion beyond the f32 accumulation tolerance fails
+// the bench.  Results land on stdout and in BENCH_gemm.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/simd.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace nshd;
+
+// -- scalar references: single accumulator, canonical loop order ----------
+
+void scalar_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = s;
+    }
+}
+
+void scalar_gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) s += a[i * k + p] * b[j * k + p];
+      c[i * n + j] = s;
+    }
+}
+
+void scalar_gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) s += a[p * m + i] * b[p * n + j];
+      c[i * n + j] = s;
+    }
+}
+
+void scalar_gemv(const float* a, const float* x, float* y, std::int64_t m,
+                 std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) s += a[i * n + j] * x[j];
+    y[i] = s;
+  }
+}
+
+void scalar_gemv_t(const float* a, const float* x, float* y, std::int64_t m,
+                   std::int64_t n) {
+  std::memset(y, 0, static_cast<std::size_t>(n) * sizeof(float));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float xi = x[i];
+    for (std::int64_t j = 0; j < n; ++j) y[j] += xi * a[i * n + j];
+  }
+}
+
+// -- the pre-SIMD repository kernels, reproduced verbatim -----------------
+
+void prev_gemm(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlockM = 64, kBlockK = 256, kRowGrain = 16;
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
+    for (std::int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, r1);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::int64_t p1 = std::min(p0 + kBlockK, k);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* ci = c + i * n;
+          const float* ai = a + i * k;
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const float aip = ai[p];
+            if (aip == 0.0f) continue;
+            const float* bp = b + p * n;
+            for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void prev_gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kRowGrain = 16;
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        float sum = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+        ci[j] = sum;
+      }
+    }
+  });
+}
+
+void prev_gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kRowGrain = 16;
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* ap = a + p * m;
+      const float* bp = b + p * n;
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float api = ap[i];
+        if (api == 0.0f) continue;
+        float* ci = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
+    }
+  });
+}
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.seconds());
+  }
+  return best;
+}
+
+struct Record {
+  std::string kernel;
+  std::int64_t m = 0, k = 0, n = 0;
+  double scalar_gflops = 0.0;
+  double prev_gflops = 0.0;  // 0 when the kernel had no prev variant
+  double simd_gflops = 0.0;
+  bool parity_ok = true;
+};
+
+bool check_parity(const std::vector<float>& got, const std::vector<float>& want,
+                  std::int64_t k, const char* label) {
+  const float tol = 1e-4f * std::sqrt(static_cast<float>(k)) + 1e-4f;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::fabs(got[i] - want[i]) > tol) {
+      std::fprintf(stderr, "FATAL: %s parity failure at %zu: %g vs %g (tol %g)\n",
+                   label, i, got[i], want[i], tol);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int reps = args.get_int("reps", 3);
+  const std::string json_path = args.get("json", "BENCH_gemm.json");
+
+  util::Rng rng(7);
+  util::Table table({"kernel", "shape", "scalar GF/s", "prev GF/s", "simd GF/s",
+                     "speedup vs scalar"});
+  std::vector<Record> records;
+  bool all_ok = true;
+
+  struct Shape {
+    std::int64_t m, k, n;
+  };
+  const Shape shapes[] = {{256, 256, 256}, {512, 512, 512}};
+
+  for (const Shape& s : shapes) {
+    std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+    for (auto& x : a) x = rng.normal();
+    for (auto& x : b) x = rng.normal();
+    std::vector<float> c_ref(static_cast<std::size_t>(s.m * s.n));
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+    const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+
+    struct Variant {
+      const char* name;
+      void (*scalar)(const float*, const float*, float*, std::int64_t, std::int64_t, std::int64_t);
+      void (*prev)(const float*, const float*, float*, std::int64_t, std::int64_t, std::int64_t);
+      void (*simd)(const float*, const float*, float*, std::int64_t, std::int64_t, std::int64_t, bool);
+    };
+    const Variant variants[] = {
+        {"gemm", scalar_gemm, prev_gemm, tensor::gemm},
+        {"gemm_bt", scalar_gemm_bt, prev_gemm_bt, tensor::gemm_bt},
+        {"gemm_at", scalar_gemm_at, prev_gemm_at, tensor::gemm_at},
+    };
+    for (const Variant& v : variants) {
+      v.scalar(a.data(), b.data(), c_ref.data(), s.m, s.k, s.n);
+      v.simd(a.data(), b.data(), c.data(), s.m, s.k, s.n, false);
+      const bool ok = check_parity(c, c_ref, s.k, v.name);
+      all_ok = all_ok && ok;
+
+      Record rec;
+      rec.kernel = v.name;
+      rec.m = s.m;
+      rec.k = s.k;
+      rec.n = s.n;
+      rec.parity_ok = ok;
+      rec.scalar_gflops =
+          flops / best_seconds(reps, [&] { v.scalar(a.data(), b.data(), c.data(), s.m, s.k, s.n); }) / 1e9;
+      rec.prev_gflops =
+          flops / best_seconds(reps, [&] { v.prev(a.data(), b.data(), c.data(), s.m, s.k, s.n); }) / 1e9;
+      rec.simd_gflops =
+          flops / best_seconds(reps, [&] { v.simd(a.data(), b.data(), c.data(), s.m, s.k, s.n, false); }) / 1e9;
+      records.push_back(rec);
+
+      char shape_str[64];
+      std::snprintf(shape_str, sizeof shape_str, "%lldx%lldx%lld",
+                    static_cast<long long>(s.m), static_cast<long long>(s.k),
+                    static_cast<long long>(s.n));
+      table.add_row({rec.kernel, shape_str, util::cell(rec.scalar_gflops, 2),
+                     util::cell(rec.prev_gflops, 2), util::cell(rec.simd_gflops, 2),
+                     util::cell(rec.simd_gflops / rec.scalar_gflops, 2) + "x"});
+    }
+  }
+
+  // gemv / gemv_t at an HD-sized shape (bank scans, manifold regressor).
+  {
+    const std::int64_t m = 2048, n = 2048;
+    std::vector<float> a(static_cast<std::size_t>(m * n));
+    std::vector<float> x(static_cast<std::size_t>(n)), xt(static_cast<std::size_t>(m));
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : xt) v = rng.normal();
+    std::vector<float> y_ref(static_cast<std::size_t>(m)), y(static_cast<std::size_t>(m));
+    std::vector<float> yt_ref(static_cast<std::size_t>(n)), yt(static_cast<std::size_t>(n));
+    const double flops = 2.0 * static_cast<double>(m) * n;
+
+    scalar_gemv(a.data(), x.data(), y_ref.data(), m, n);
+    tensor::gemv(a.data(), x.data(), y.data(), m, n);
+    bool ok = check_parity(y, y_ref, n, "gemv");
+    scalar_gemv_t(a.data(), xt.data(), yt_ref.data(), m, n);
+    tensor::gemv_t(a.data(), xt.data(), yt.data(), m, n);
+    ok = check_parity(yt, yt_ref, m, "gemv_t") && ok;
+    all_ok = all_ok && ok;
+
+    Record rv;
+    rv.kernel = "gemv";
+    rv.m = m;
+    rv.n = n;
+    rv.k = n;
+    rv.parity_ok = ok;
+    rv.scalar_gflops =
+        flops / best_seconds(reps, [&] { scalar_gemv(a.data(), x.data(), y.data(), m, n); }) / 1e9;
+    rv.simd_gflops =
+        flops / best_seconds(reps, [&] { tensor::gemv(a.data(), x.data(), y.data(), m, n); }) / 1e9;
+    records.push_back(rv);
+    table.add_row({"gemv", "2048x2048", util::cell(rv.scalar_gflops, 2), "-",
+                   util::cell(rv.simd_gflops, 2),
+                   util::cell(rv.simd_gflops / rv.scalar_gflops, 2) + "x"});
+
+    Record rt;
+    rt.kernel = "gemv_t";
+    rt.m = m;
+    rt.n = n;
+    rt.k = m;
+    rt.parity_ok = ok;
+    rt.scalar_gflops =
+        flops / best_seconds(reps, [&] { scalar_gemv_t(a.data(), xt.data(), yt.data(), m, n); }) / 1e9;
+    rt.simd_gflops =
+        flops / best_seconds(reps, [&] { tensor::gemv_t(a.data(), xt.data(), yt.data(), m, n); }) / 1e9;
+    records.push_back(rt);
+    table.add_row({"gemv_t", "2048x2048", util::cell(rt.scalar_gflops, 2), "-",
+                   util::cell(rt.simd_gflops, 2),
+                   util::cell(rt.simd_gflops / rt.scalar_gflops, 2) + "x"});
+  }
+
+  std::printf("\n== GEMM kernels, isa %s width %d (parity %s) ==\n%s",
+              tensor::simd::kIsaName, tensor::simd::kWidth,
+              all_ok ? "verified" : "FAILED", table.to_string().c_str());
+
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(out, "{\n  \"isa\": \"%s\",\n  \"width\": %d,\n  \"results\": [\n",
+                 tensor::simd::kIsaName, tensor::simd::kWidth);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      std::fprintf(out,
+                   "    {\"kernel\": \"%s\", \"m\": %lld, \"k\": %lld, \"n\": %lld, "
+                   "\"scalar_gflops\": %.3f, \"prev_gflops\": %.3f, "
+                   "\"simd_gflops\": %.3f, \"speedup_vs_scalar\": %.3f, "
+                   "\"parity\": \"%s\"}%s\n",
+                   r.kernel.c_str(), static_cast<long long>(r.m),
+                   static_cast<long long>(r.k), static_cast<long long>(r.n),
+                   r.scalar_gflops, r.prev_gflops, r.simd_gflops,
+                   r.simd_gflops / r.scalar_gflops, r.parity_ok ? "ok" : "FAIL",
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,16 +1,30 @@
-// Microbenchmarks of the HD computing kernels (google-benchmark).
+// HD kernel throughput: scalar-reference vs SIMD implementations.
 //
 // Covers the operations the paper accelerates with CUDA constant memory
-// (Sec. VI-A): random-projection encoding, float-vs-packed similarity, the
-// MASS update, binary-binary Hamming similarity, and the VanillaHD
-// ID-level encoder — plus the bit-packed vs naive unpacked ablation.
-#include <benchmark/benchmark.h>
+// (Sec. VI-A): random-projection encode/decode, float-vs-packed similarity,
+// the MASS update primitive (axpy), binary-binary Hamming similarity, and
+// batched bank prediction.  Each kernel is timed against a scalar reference
+// that reproduces the pre-SIMD repository algorithm (per-set-bit
+// countr_zero walks, single-accumulator popcount) on identical data, with a
+// parity check before timing; the harness exits non-zero on any parity
+// failure.  Results land on stdout and in BENCH_hd.json — the projection
+// encode row at dim=10000 is the ISSUE 5 gate (>= 3x).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "hd/classifier.hpp"
 #include "hd/hypervector.hpp"
 #include "hd/projection.hpp"
-#include "hd/vanilla.hpp"
+#include "tensor/simd.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -23,122 +37,315 @@ std::vector<float> random_values(std::int64_t n, std::uint64_t seed) {
   return v;
 }
 
-void BM_RandomProjectionEncode(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  const std::int64_t features = state.range(1);
-  util::Rng rng(1);
-  const hd::RandomProjection proj(dim, features, rng);
-  const auto v = random_values(features, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(proj.encode(v.data()));
-  }
-  state.SetItemsProcessed(state.iterations() * dim * features);
-}
-BENCHMARK(BM_RandomProjectionEncode)
-    ->Args({3000, 100})
-    ->Args({10000, 100})
-    ->Args({3000, 640});
+/// Rebuilds a projection's packed bit matrix via element(), so the scalar
+/// reference runs the old algorithm on the same storage layout.
+struct PackedMatrix {
+  std::int64_t rows = 0, cols = 0, words_per_row = 0;
+  std::vector<std::uint64_t> bits;
 
-void BM_ProjectionDecode(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  util::Rng rng(3);
-  const hd::RandomProjection proj(dim, 100, rng);
-  tensor::Tensor g(tensor::Shape{dim});
-  for (float& x : g.span()) x = rng.normal();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(proj.decode(g));
+  explicit PackedMatrix(const hd::RandomProjection& proj)
+      : rows(proj.dim()), cols(proj.features()), words_per_row((proj.features() + 63) / 64) {
+    bits.assign(static_cast<std::size_t>(rows * words_per_row), 0);
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < cols; ++c)
+        if (proj.element(r, c) > 0.0f)
+          bits[static_cast<std::size_t>(r * words_per_row + (c >> 6))] |= 1ULL << (c & 63);
   }
-  state.SetItemsProcessed(state.iterations() * dim * 100);
-}
-BENCHMARK(BM_ProjectionDecode)->Arg(3000)->Arg(10000);
+};
 
-void BM_FloatDotPacked(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  util::Rng rng(4);
-  const hd::Hypervector h = hd::Hypervector::random(dim, rng);
-  const auto m = random_values(dim, 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hd::dot(m.data(), h));
-  }
-  state.SetItemsProcessed(state.iterations() * dim);
-}
-BENCHMARK(BM_FloatDotPacked)->Arg(3000)->Arg(10000);
+// -- scalar references: the pre-SIMD repository kernels -------------------
 
-// Ablation: the same similarity computed on unpacked +-1 floats (what a
-// naive implementation without the paper's binary trick would do).
-void BM_FloatDotUnpacked(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  util::Rng rng(6);
-  const hd::Hypervector h = hd::Hypervector::random(dim, rng);
-  const tensor::Tensor unpacked = h.to_tensor();
-  const auto m = random_values(dim, 7);
-  for (auto _ : state) {
-    double sum = 0.0;
-    for (std::int64_t i = 0; i < dim; ++i) sum += m[static_cast<std::size_t>(i)] * unpacked[i];
-    benchmark::DoNotOptimize(sum);
+void ref_project(const PackedMatrix& p, const float* v, float* out) {
+  double total = 0.0;
+  for (std::int64_t i = 0; i < p.cols; ++i) total += v[i];
+  for (std::int64_t r = 0; r < p.rows; ++r) {
+    const std::uint64_t* row = p.bits.data() + r * p.words_per_row;
+    double pos = 0.0;
+    for (std::int64_t w = 0; w < p.words_per_row; ++w) {
+      std::uint64_t bits = row[w];
+      const std::int64_t base = w << 6;
+      while (bits != 0) {
+        pos += v[base + std::countr_zero(bits)];
+        bits &= bits - 1;
+      }
+    }
+    out[r] = static_cast<float>(2.0 * pos - total);
   }
-  state.SetItemsProcessed(state.iterations() * dim);
 }
-BENCHMARK(BM_FloatDotUnpacked)->Arg(3000)->Arg(10000);
 
-void BM_BinaryHamming(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  util::Rng rng(8);
-  const hd::Hypervector a = hd::Hypervector::random(dim, rng);
-  const hd::Hypervector b = hd::Hypervector::random(dim, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.dot(b));
+void ref_decode(const PackedMatrix& p, const float* g, float* out) {
+  double total = 0.0;
+  for (std::int64_t r = 0; r < p.rows; ++r) total += g[r];
+  for (std::int64_t i = 0; i < p.cols; ++i) out[i] = 0.0f;
+  for (std::int64_t r = 0; r < p.rows; ++r) {
+    const float gr = g[r];
+    if (gr == 0.0f) continue;
+    const std::uint64_t* row = p.bits.data() + r * p.words_per_row;
+    for (std::int64_t w = 0; w < p.words_per_row; ++w) {
+      std::uint64_t bits = row[w];
+      const std::int64_t base = w << 6;
+      while (bits != 0) {
+        out[base + std::countr_zero(bits)] += gr;
+        bits &= bits - 1;
+      }
+    }
   }
-  state.SetItemsProcessed(state.iterations() * dim);
+  const auto t = static_cast<float>(total);
+  for (std::int64_t i = 0; i < p.cols; ++i) out[i] = 2.0f * out[i] - t;
 }
-BENCHMARK(BM_BinaryHamming)->Arg(3000)->Arg(10000);
 
-void BM_MassEpoch(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  const std::int64_t classes = 10, samples = 100;
-  util::Rng rng(9);
-  std::vector<hd::Hypervector> hvs;
-  std::vector<std::int64_t> labels;
-  for (std::int64_t i = 0; i < samples; ++i) {
-    hvs.push_back(hd::Hypervector::random(dim, rng));
-    labels.push_back(i % classes);
+double ref_dot_packed(const float* m, const hd::Hypervector& h) {
+  const std::int64_t dim = h.dim();
+  double total = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) total += m[i];
+  const std::uint64_t* words = h.words();
+  double positive = 0.0;
+  for (std::int64_t w = 0; w < static_cast<std::int64_t>(h.word_count()); ++w) {
+    std::uint64_t bits = words[w];
+    const std::int64_t base = w << 6;
+    while (bits != 0) {
+      positive += m[base + std::countr_zero(bits)];
+      bits &= bits - 1;
+    }
   }
-  hd::HdClassifier clf(classes, dim);
-  clf.bundle_init(hvs, labels);
-  hd::MassConfig config;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(clf.mass_epoch(hvs, labels, config));
-  }
-  state.SetItemsProcessed(state.iterations() * samples * classes * dim);
+  return 2.0 * positive - total;
 }
-BENCHMARK(BM_MassEpoch)->Arg(3000)->Arg(10000);
 
-void BM_IdLevelEncode(benchmark::State& state) {
-  const std::int64_t features = state.range(0);
-  hd::IdLevelConfig config;
-  config.dim = 3000;
-  const hd::IdLevelEncoder encoder(features, config);
-  const auto v = random_values(features, 10);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.encode(v.data()));
+void ref_axpy(float* m, float alpha, const hd::Hypervector& h) {
+  const std::int64_t dim = h.dim();
+  for (std::int64_t i = 0; i < dim; ++i) m[i] -= alpha;
+  const float twice = 2.0f * alpha;
+  const std::uint64_t* words = h.words();
+  for (std::int64_t w = 0; w < static_cast<std::int64_t>(h.word_count()); ++w) {
+    std::uint64_t bits = words[w];
+    const std::int64_t base = w << 6;
+    while (bits != 0) {
+      m[base + std::countr_zero(bits)] += twice;
+      bits &= bits - 1;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * features * config.dim);
 }
-BENCHMARK(BM_IdLevelEncode)->Arg(256)->Arg(3072);
 
-void BM_QuantizedPredict(benchmark::State& state) {
-  const std::int64_t dim = state.range(0);
-  util::Rng rng(11);
-  std::vector<hd::Hypervector> classes;
-  for (int c = 0; c < 10; ++c) classes.push_back(hd::Hypervector::random(dim, rng));
-  const hd::Hypervector query = hd::Hypervector::random(dim, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hd::HdClassifier::predict_quantized(classes, query));
-  }
-  state.SetItemsProcessed(state.iterations() * 10 * dim);
+std::int64_t ref_hamming(const hd::Hypervector& a, const hd::Hypervector& b) {
+  std::int64_t d = 0;
+  for (std::size_t w = 0; w < a.word_count(); ++w)
+    d += std::popcount(a.words()[w] ^ b.words()[w]);
+  return d;
 }
-BENCHMARK(BM_QuantizedPredict)->Arg(3000)->Arg(10000);
+
+template <typename Fn>
+double best_sps(int reps, std::int64_t iters, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    for (std::int64_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, watch.seconds());
+  }
+  return static_cast<double>(iters) / best;
+}
+
+struct Record {
+  std::string kernel;
+  std::int64_t dim = 0, features = 0;
+  double scalar_sps = 0.0;
+  double simd_sps = 0.0;
+  bool parity_ok = true;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const int reps = args.get_int("reps", 3);
+  const std::string json_path = args.get("json", "BENCH_hd.json");
+
+  util::Table table({"kernel", "dim", "features", "scalar/s", "simd/s", "speedup"});
+  std::vector<Record> records;
+  bool all_ok = true;
+
+  auto push = [&](Record rec) {
+    table.add_row({rec.kernel, util::cell(static_cast<int>(rec.dim)),
+                   rec.features != 0 ? util::cell(static_cast<int>(rec.features)) : "-",
+                   util::cell(rec.scalar_sps, 1), util::cell(rec.simd_sps, 1),
+                   util::cell(rec.simd_sps / rec.scalar_sps, 2) + "x"});
+    all_ok = all_ok && rec.parity_ok;
+    records.push_back(std::move(rec));
+  };
+
+  // -- projection encode / decode ----------------------------------------
+  struct ProjShape {
+    std::int64_t dim, features;
+  };
+  for (const ProjShape s : {ProjShape{3000, 100}, ProjShape{10000, 100},
+                            ProjShape{3000, 640}, ProjShape{10000, 640}}) {
+    util::Rng rng(1);
+    const hd::RandomProjection proj(s.dim, s.features, rng);
+    const PackedMatrix packed(proj);
+    const auto v = random_values(s.features, 2);
+    std::vector<float> z_ref(static_cast<std::size_t>(s.dim));
+    ref_project(packed, v.data(), z_ref.data());
+    const tensor::Tensor z = proj.project(v.data());
+    const float tol = 1e-4f * std::sqrt(static_cast<float>(s.features)) + 1e-4f;
+    bool ok = true;
+    for (std::int64_t r = 0; r < s.dim; ++r)
+      if (std::fabs(z[r] - z_ref[static_cast<std::size_t>(r)]) > tol) ok = false;
+
+    Record enc;
+    enc.kernel = "project_encode";
+    enc.dim = s.dim;
+    enc.features = s.features;
+    enc.parity_ok = ok;
+    const std::int64_t iters = 4'000'000 / s.dim + 1;
+    enc.scalar_sps = best_sps(reps, iters, [&] {
+      ref_project(packed, v.data(), z_ref.data());
+      hd::Hypervector::from_sign(z_ref.data(), s.dim);
+    });
+    enc.simd_sps = best_sps(reps, iters, [&] { proj.encode(v.data()); });
+    push(std::move(enc));
+
+    if (s.features == 100) {
+      const auto g = random_values(s.dim, 3);
+      std::vector<float> back_ref(static_cast<std::size_t>(s.features));
+      ref_decode(packed, g.data(), back_ref.data());
+      tensor::Tensor g_t(tensor::Shape{s.dim});
+      std::copy(g.begin(), g.end(), g_t.data());
+      const tensor::Tensor back = proj.decode(g_t);
+      bool dok = true;
+      const float dtol = 1e-3f * std::sqrt(static_cast<float>(s.dim)) + 1e-3f;
+      for (std::int64_t i = 0; i < s.features; ++i)
+        if (std::fabs(back[i] - back_ref[static_cast<std::size_t>(i)]) > dtol) dok = false;
+
+      Record dec;
+      dec.kernel = "decode";
+      dec.dim = s.dim;
+      dec.features = s.features;
+      dec.parity_ok = dok;
+      dec.scalar_sps = best_sps(reps, iters, [&] {
+        ref_decode(packed, g.data(), back_ref.data());
+      });
+      dec.simd_sps = best_sps(reps, iters, [&] { proj.decode(g_t); });
+      push(std::move(dec));
+    }
+  }
+
+  // -- packed float dot & axpy (the MASS primitives) ----------------------
+  for (const std::int64_t dim : {3000LL, 10000LL}) {
+    util::Rng rng(4);
+    const hd::Hypervector h = hd::Hypervector::random(dim, rng);
+    auto m = random_values(dim, 5);
+    const double want = ref_dot_packed(m.data(), h);
+    const double got = hd::dot(m.data(), h);
+    const double tol = 1e-3 * std::sqrt(static_cast<double>(dim));
+    Record dotr;
+    dotr.kernel = "float_dot_packed";
+    dotr.dim = dim;
+    dotr.parity_ok = std::fabs(want - got) <= tol;
+    const std::int64_t iters = 40'000'000 / dim + 1;
+    volatile double sink = 0.0;
+    dotr.scalar_sps = best_sps(reps, iters, [&] { sink = ref_dot_packed(m.data(), h); });
+    dotr.simd_sps = best_sps(reps, iters, [&] { sink = hd::dot(m.data(), h); });
+    (void)sink;
+    push(std::move(dotr));
+
+    auto m_ref = m;
+    ref_axpy(m_ref.data(), 0.125f, h);
+    auto m_simd = m;
+    hd::axpy(m_simd.data(), 0.125f, h);
+    bool aok = true;
+    for (std::int64_t i = 0; i < dim; ++i)
+      if (std::fabs(m_ref[static_cast<std::size_t>(i)] - m_simd[static_cast<std::size_t>(i)]) >
+          1e-5f)
+        aok = false;
+    Record ax;
+    ax.kernel = "axpy";
+    ax.dim = dim;
+    ax.parity_ok = aok;
+    ax.scalar_sps = best_sps(reps, iters, [&] { ref_axpy(m.data(), 1e-6f, h); });
+    ax.simd_sps = best_sps(reps, iters, [&] { hd::axpy(m.data(), -1e-6f, h); });
+    push(std::move(ax));
+  }
+
+  // -- binary-binary Hamming ---------------------------------------------
+  for (const std::int64_t dim : {3000LL, 10000LL}) {
+    util::Rng rng(8);
+    const hd::Hypervector a = hd::Hypervector::random(dim, rng);
+    const hd::Hypervector b = hd::Hypervector::random(dim, rng);
+    Record hr;
+    hr.kernel = "hamming";
+    hr.dim = dim;
+    hr.parity_ok = a.hamming(b) == ref_hamming(a, b);  // exact integers
+    const std::int64_t iters = 400'000'000 / dim + 1;
+    volatile std::int64_t hsink = 0;
+    hr.scalar_sps = best_sps(reps, iters, [&] { hsink = ref_hamming(a, b); });
+    hr.simd_sps = best_sps(reps, iters, [&] { hsink = a.hamming(b); });
+    (void)hsink;
+    push(std::move(hr));
+  }
+
+  // -- batched bank prediction (gemm_bt path vs per-query scalar walk) ----
+  {
+    const std::int64_t dim = 10000, classes = 10, n = 256;
+    util::Rng rng(11);
+    hd::HdClassifier clf(classes, dim);
+    for (std::int64_t c = 0; c < classes; ++c)
+      for (std::int64_t d = 0; d < dim; ++d) clf.class_vector(c)[d] = rng.normal();
+    std::vector<hd::Hypervector> queries;
+    for (std::int64_t i = 0; i < n; ++i)
+      queries.push_back(hd::Hypervector::random(dim, rng));
+
+    auto ref_predict_all = [&] {
+      std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t best = 0;
+        double best_dot = ref_dot_packed(clf.class_vector(0), queries[static_cast<std::size_t>(i)]);
+        for (std::int64_t c = 1; c < classes; ++c) {
+          const double d = ref_dot_packed(clf.class_vector(c), queries[static_cast<std::size_t>(i)]);
+          if (d > best_dot) {
+            best_dot = d;
+            best = c;
+          }
+        }
+        out[static_cast<std::size_t>(i)] = best;
+      }
+      return out;
+    };
+
+    const std::vector<std::int64_t> want = ref_predict_all();
+    const std::vector<std::int64_t> got = clf.predict_all(queries, hd::Similarity::kDot);
+    Record pr;
+    pr.kernel = "predict_batch256";
+    pr.dim = dim;
+    pr.parity_ok = want == got;
+    pr.scalar_sps = best_sps(reps, 1, ref_predict_all) * static_cast<double>(n);
+    pr.simd_sps =
+        best_sps(reps, 1, [&] { clf.predict_all(queries, hd::Similarity::kDot); }) *
+        static_cast<double>(n);
+    push(std::move(pr));
+  }
+
+  std::printf("\n== HD kernels, isa %s width %d (parity %s) ==\n%s",
+              tensor::simd::kIsaName, tensor::simd::kWidth,
+              all_ok ? "verified" : "FAILED", table.to_string().c_str());
+
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(out, "{\n  \"isa\": \"%s\",\n  \"width\": %d,\n  \"results\": [\n",
+                 tensor::simd::kIsaName, tensor::simd::kWidth);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      std::fprintf(out,
+                   "    {\"kernel\": \"%s\", \"dim\": %lld, \"features\": %lld, "
+                   "\"scalar_samples_per_sec\": %.1f, \"simd_samples_per_sec\": %.1f, "
+                   "\"speedup\": %.3f, \"parity\": \"%s\"}%s\n",
+                   r.kernel.c_str(), static_cast<long long>(r.dim),
+                   static_cast<long long>(r.features), r.scalar_sps, r.simd_sps,
+                   r.simd_sps / r.scalar_sps, r.parity_ok ? "ok" : "FAIL",
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

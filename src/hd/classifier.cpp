@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+#include "tensor/simd.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -10,10 +12,33 @@ namespace nshd::hd {
 
 namespace {
 // Fixed parallel grains: classes per chunk for bank scans, samples per
-// chunk for evaluation.  Constants, so partitioning never depends on the
-// thread count and results are identical for any NSHD_THREADS.
+// chunk for query unpacking.  Constants, so partitioning never depends on
+// the thread count and results are identical for any NSHD_THREADS.
 constexpr std::int64_t kClassGrain = 1;
-constexpr std::int64_t kSampleGrain = 8;
+constexpr std::int64_t kUnpackGrain = 1;
+// Queries per gemm_bt block in the batched inference path; bounds the
+// unpacked-query buffer to block * dim floats.
+constexpr std::int64_t kQueryBlock = 64;
+
+/// Expands a packed bipolar hypervector to floats (+1/-1 per element).
+void unpack_query(const Hypervector& h, float* out) {
+  using tensor::simd::kWidth;
+  const std::int64_t dim = h.dim();
+  const std::uint64_t* words = h.words();
+  const std::int64_t full_words = dim >> 6;
+  for (std::int64_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = words[w];
+    float* base = out + (w << 6);
+    for (int g = 0; g < 64 / kWidth; ++g, bits >>= kWidth)
+      tensor::simd::vstore(base + g * kWidth, tensor::simd::signed_set1(1.0f, bits));
+  }
+  const std::int64_t tail_base = full_words << 6;
+  if (tail_base < dim) {
+    const std::uint64_t bits = words[full_words];
+    for (std::int64_t i = tail_base; i < dim; ++i)
+      out[i] = ((bits >> (i & 63)) & 1u) ? 1.0f : -1.0f;
+  }
+}
 }  // namespace
 
 HdClassifier::HdClassifier(std::int64_t num_classes, std::int64_t dim)
@@ -67,12 +92,75 @@ std::int64_t HdClassifier::add_class(const std::vector<Hypervector>& samples) {
 
 std::vector<double> HdClassifier::raw_dots(const Hypervector& query) const {
   assert(query.dim() == dim_);
+  // Single-query path (kd_retrain, perceptron updates): unpack once into a
+  // per-thread buffer and scan the bank as one row-parallel gemv.
+  thread_local std::vector<float> qf, yf;
+  qf.resize(static_cast<std::size_t>(dim_));
+  yf.resize(static_cast<std::size_t>(num_classes_));
+  unpack_query(query, qf.data());
+  tensor::gemv(bank_.data(), qf.data(), yf.data(), num_classes_, dim_);
   std::vector<double> raw(static_cast<std::size_t>(num_classes_));
-  util::parallel_for(0, num_classes_, kClassGrain, [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t c = b; c < e; ++c)
-      raw[static_cast<std::size_t>(c)] = dot(class_vector(c), query);
-  });
+  for (std::int64_t c = 0; c < num_classes_; ++c)
+    raw[static_cast<std::size_t>(c)] = static_cast<double>(yf[static_cast<std::size_t>(c)]);
   return raw;
+}
+
+void HdClassifier::unpack_block(const std::vector<Hypervector>& queries,
+                                std::int64_t b, std::int64_t e, float* qf) const {
+  util::parallel_for(b, e, kUnpackGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      assert(queries[static_cast<std::size_t>(i)].dim() == dim_);
+      unpack_query(queries[static_cast<std::size_t>(i)], qf + (i - b) * dim_);
+    }
+  });
+}
+
+void HdClassifier::sims_row(const float* raw, float* out, Similarity metric) const {
+  const double query_norm = std::sqrt(static_cast<double>(dim_));
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    if (metric == Similarity::kDot) {
+      out[c] = static_cast<float>(static_cast<double>(raw[c]) / dim_);
+    } else {
+      const double denom =
+          std::max(1e-9, static_cast<double>(norms_[static_cast<std::size_t>(c)]) * query_norm);
+      out[c] = static_cast<float>(static_cast<double>(raw[c]) / denom);
+    }
+  }
+}
+
+tensor::Tensor HdClassifier::similarities_all(const std::vector<Hypervector>& queries,
+                                              Similarity metric) const {
+  const auto n = static_cast<std::int64_t>(queries.size());
+  tensor::Tensor sims(tensor::Shape{n, num_classes_});
+  if (n == 0) return sims;
+  // Norms refresh happens once up front, never inside the blocked loop.
+  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  std::vector<float> qf(static_cast<std::size_t>(std::min(n, kQueryBlock) * dim_));
+  std::vector<float> raw(static_cast<std::size_t>(std::min(n, kQueryBlock) * num_classes_));
+  for (std::int64_t b = 0; b < n; b += kQueryBlock) {
+    const std::int64_t e = std::min(n, b + kQueryBlock);
+    unpack_block(queries, b, e, qf.data());
+    // All queries of the block against the whole bank in one gemm_bt.
+    tensor::gemm_bt(qf.data(), bank_.data(), raw.data(), e - b, dim_, num_classes_);
+    for (std::int64_t i = b; i < e; ++i)
+      sims_row(raw.data() + (i - b) * num_classes_, sims.data() + i * num_classes_, metric);
+  }
+  return sims;
+}
+
+std::vector<std::int64_t> HdClassifier::predict_all(const std::vector<Hypervector>& queries,
+                                                    Similarity metric) const {
+  const tensor::Tensor sims = similarities_all(queries, metric);
+  const auto n = static_cast<std::int64_t>(queries.size());
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = sims.data() + i * num_classes_;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < num_classes_; ++c)
+      if (row[c] > row[best]) best = c;
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
 }
 
 std::vector<float> HdClassifier::sims_from_raw(const std::vector<double>& raw,
@@ -112,27 +200,31 @@ double HdClassifier::mass_epoch(const std::vector<Hypervector>& samples,
                                 const std::vector<std::int64_t>& labels,
                                 const MassConfig& config) {
   assert(samples.size() == labels.size());
+  if (samples.empty()) return 0.0;
+  // Prediction pass: every sample against the epoch-start bank, batched
+  // through similarities_all (one gemm_bt per query block).  This is
+  // exactly "training accuracy before updates"; the sequential update loop
+  // below then applies the per-sample MASS corrections in sample order, so
+  // the trained bank stays independent of NSHD_THREADS.
+  const tensor::Tensor sims_all = similarities_all(samples, config.similarity);
+  const auto n = static_cast<std::int64_t>(samples.size());
   std::int64_t correct = 0;
   std::vector<float> update(static_cast<std::size_t>(num_classes_));
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    // The raw dots feed both the similarity vector and the incremental norm
-    // maintenance in apply_update, so the bank is scanned once per sample
-    // instead of once for similarities plus once for refresh_norms.
-    const std::vector<double> raw = raw_dots(samples[i]);
-    const std::vector<float> sims = sims_from_raw(raw, config.similarity);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* sims = sims_all.data() + i * num_classes_;
     std::int64_t best = 0;
     for (std::int64_t c = 1; c < num_classes_; ++c)
-      if (sims[static_cast<std::size_t>(c)] > sims[static_cast<std::size_t>(best)]) best = c;
-    if (best == labels[i]) ++correct;
+      if (sims[c] > sims[best]) best = c;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
 
     // U = one_hot - delta(M, H): large corrections for erroneous classes.
     for (std::int64_t c = 0; c < num_classes_; ++c) {
       update[static_cast<std::size_t>(c)] =
-          (c == labels[i] ? 1.0f : 0.0f) - sims[static_cast<std::size_t>(c)];
+          (c == labels[static_cast<std::size_t>(i)] ? 1.0f : 0.0f) - sims[c];
     }
-    apply_update(samples[i], update, config.learning_rate, &raw);
+    apply_update(samples[static_cast<std::size_t>(i)], update, config.learning_rate, nullptr);
   }
-  return static_cast<double>(correct) / static_cast<double>(samples.size());
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 double HdClassifier::perceptron_epoch(const std::vector<Hypervector>& samples,
@@ -175,25 +267,10 @@ double HdClassifier::evaluate(const std::vector<Hypervector>& samples,
                               Similarity metric) const {
   assert(samples.size() == labels.size());
   if (samples.empty()) return 0.0;
-  // Refresh norms once up front: the parallel region below must not mutate
-  // the cache from several workers at once.
-  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
-  const auto n = static_cast<std::int64_t>(samples.size());
-  const std::int64_t chunks = util::chunk_count(0, n, kSampleGrain);
-  std::vector<std::int64_t> chunk_correct(static_cast<std::size_t>(chunks), 0);
-  util::parallel_for_chunks(
-      0, n, kSampleGrain,
-      [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
-        std::int64_t local = 0;
-        for (std::int64_t i = b; i < e; ++i) {
-          if (predict(samples[static_cast<std::size_t>(i)], metric) ==
-              labels[static_cast<std::size_t>(i)])
-            ++local;
-        }
-        chunk_correct[static_cast<std::size_t>(chunk)] = local;
-      });
+  const std::vector<std::int64_t> predicted = predict_all(samples, metric);
   std::int64_t correct = 0;
-  for (const std::int64_t c : chunk_correct) correct += c;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    if (predicted[i] == labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
 
@@ -262,23 +339,31 @@ double HdClassifier::evaluate_quantized(const std::vector<Hypervector>& samples,
                                         const std::vector<std::int64_t>& labels) const {
   assert(samples.size() == labels.size());
   if (samples.empty()) return 0.0;
+  // Batched deployment-accuracy pass: the binarized bank is expanded to
+  // floats once and every block of queries is scored with one gemm_bt.
+  // Dot products of +/-1 vectors are exact small integers in f32 (|sum| <=
+  // D << 2^24, every partial sum exact), so the argmax — including the
+  // first-max tie rule — is identical to the packed popcount path used by
+  // predict_quantized.
   const std::vector<Hypervector> quantized = quantized_classes();
+  std::vector<float> fbank(static_cast<std::size_t>(num_classes_ * dim_));
+  unpack_block(quantized, 0, num_classes_, fbank.data());
   const auto n = static_cast<std::int64_t>(samples.size());
-  const std::int64_t chunks = util::chunk_count(0, n, kSampleGrain);
-  std::vector<std::int64_t> chunk_correct(static_cast<std::size_t>(chunks), 0);
-  util::parallel_for_chunks(
-      0, n, kSampleGrain,
-      [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
-        std::int64_t local = 0;
-        for (std::int64_t i = b; i < e; ++i) {
-          if (predict_quantized(quantized, samples[static_cast<std::size_t>(i)]) ==
-              labels[static_cast<std::size_t>(i)])
-            ++local;
-        }
-        chunk_correct[static_cast<std::size_t>(chunk)] = local;
-      });
+  std::vector<float> qf(static_cast<std::size_t>(std::min(n, kQueryBlock) * dim_));
+  std::vector<float> raw(static_cast<std::size_t>(std::min(n, kQueryBlock) * num_classes_));
   std::int64_t correct = 0;
-  for (const std::int64_t c : chunk_correct) correct += c;
+  for (std::int64_t b = 0; b < n; b += kQueryBlock) {
+    const std::int64_t e = std::min(n, b + kQueryBlock);
+    unpack_block(samples, b, e, qf.data());
+    tensor::gemm_bt(qf.data(), fbank.data(), raw.data(), e - b, dim_, num_classes_);
+    for (std::int64_t i = b; i < e; ++i) {
+      const float* row = raw.data() + (i - b) * num_classes_;
+      std::int64_t best = 0;
+      for (std::int64_t c = 1; c < num_classes_; ++c)
+        if (row[c] > row[best]) best = c;
+      if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+  }
   return static_cast<double>(correct) / static_cast<double>(samples.size());
 }
 

@@ -50,6 +50,18 @@ class HdClassifier {
   /// argmax of similarities().
   std::int64_t predict(const Hypervector& query, Similarity metric = Similarity::kCosine) const;
 
+  /// Batched inference: similarity of every query against the whole bank,
+  /// returned as an [n, K] tensor.  Queries are unpacked to floats in
+  /// fixed-size blocks and scored with one gemm_bt per block — the backbone
+  /// of evaluate(), evaluate_quantized(), and the mass_epoch prediction
+  /// pass.  Bitwise identical for any NSHD_THREADS.
+  tensor::Tensor similarities_all(const std::vector<Hypervector>& queries,
+                                  Similarity metric = Similarity::kCosine) const;
+
+  /// Row-wise argmax of similarities_all() (first maximum wins).
+  std::vector<std::int64_t> predict_all(const std::vector<Hypervector>& queries,
+                                        Similarity metric = Similarity::kCosine) const;
+
   /// One MASS epoch over the training set; returns training accuracy before
   /// updates (so convergence is observable).  Update rule (Sec. V-A):
   ///   U = one_hot - delta(M, H);  M += lr * U^T (outer) H.
@@ -125,11 +137,17 @@ class HdClassifier {
   mutable std::vector<double> norm_sq_; // squared norms, double to bound drift
   mutable bool norms_valid_ = false;
   void refresh_norms() const;
-  /// Raw per-class dot products M . H (class-parallel).
+  /// Raw per-class dot products M . H for one query (unpack + gemv).
   std::vector<double> raw_dots(const Hypervector& query) const;
   /// Similarity vector from raw dots; refreshes norms first for cosine.
   std::vector<float> sims_from_raw(const std::vector<double>& raw,
                                    Similarity metric) const;
+  /// Expands queries[b..e) into consecutive float rows of `qf` (+/-1 each).
+  void unpack_block(const std::vector<Hypervector>& queries, std::int64_t b,
+                    std::int64_t e, float* qf) const;
+  /// One row of similarities from one row of raw (float) dots.  Assumes
+  /// norms are already fresh when `metric` is cosine.
+  void sims_row(const float* raw, float* out, Similarity metric) const;
 };
 
 }  // namespace nshd::hd

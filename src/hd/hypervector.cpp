@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "tensor/simd.hpp"
+
 namespace nshd::hd {
 
 void Hypervector::mask_tail() {
@@ -50,11 +52,16 @@ Hypervector Hypervector::bind(const Hypervector& other) const {
 
 std::int64_t Hypervector::hamming(const Hypervector& other) const {
   assert(dim_ == other.dim_);
-  std::int64_t distance = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    distance += std::popcount(words_[w] ^ other.words_[w]);
-  }
-  return distance;
+  // Deliberately the plain single-accumulator loop: the compiler turns it
+  // into SWAR/pshufb vector popcount under -march=native, and measured
+  // manual 4-way accumulator blocking defeats that idiom recognition and
+  // runs ~10-20% slower on both the portable and the native build.
+  const std::uint64_t* wa = words_.data();
+  const std::uint64_t* wb = other.words_.data();
+  const auto count = static_cast<std::int64_t>(words_.size());
+  std::int64_t d = 0;
+  for (std::int64_t w = 0; w < count; ++w) d += std::popcount(wa[w] ^ wb[w]);
+  return d;
 }
 
 std::int64_t Hypervector::dot(const Hypervector& other) const {
@@ -62,40 +69,33 @@ std::int64_t Hypervector::dot(const Hypervector& other) const {
 }
 
 double dot(const float* m, const Hypervector& h) {
-  // dot = 2 * sum(m where bit=+1) - sum(all m): the full sum vectorizes and
-  // only set bits need individual visits.
-  const std::int64_t dim = h.dim();
-  double total = 0.0;
-  for (std::int64_t i = 0; i < dim; ++i) total += m[i];
-
-  const std::uint64_t* words = h.words();
-  double positive = 0.0;
-  const auto word_count = static_cast<std::int64_t>(h.word_count());
-  for (std::int64_t w = 0; w < word_count; ++w) {
-    std::uint64_t bits = words[w];
-    const std::int64_t base = w << 6;
-    while (bits != 0) {
-      positive += m[base + std::countr_zero(bits)];
-      bits &= bits - 1;
-    }
-  }
-  return 2.0 * positive - total;
+  // Signed accumulation over whole words via sign-mask expansion: each lane
+  // contributes +m[i] or -m[i] straight from the packed bits — no per-set-bit
+  // gather and no separate `total` pass.
+  return static_cast<double>(tensor::simd::signed_sum(m, h.words(), h.dim()));
 }
 
 void axpy(float* m, float alpha, const Hypervector& h) {
-  // m += alpha * h  ==  m -= alpha everywhere, then m += 2*alpha at +1 bits.
+  // m[i] += bit_i ? +alpha : -alpha, one rounding per element, whole words
+  // at a time via a sign-flipped broadcast of alpha.
+  using tensor::simd::kWidth;
   const std::int64_t dim = h.dim();
-  for (std::int64_t i = 0; i < dim; ++i) m[i] -= alpha;
-  const float twice = 2.0f * alpha;
   const std::uint64_t* words = h.words();
-  const auto word_count = static_cast<std::int64_t>(h.word_count());
-  for (std::int64_t w = 0; w < word_count; ++w) {
+  const std::int64_t full_words = dim >> 6;
+  for (std::int64_t w = 0; w < full_words; ++w) {
     std::uint64_t bits = words[w];
-    const std::int64_t base = w << 6;
-    while (bits != 0) {
-      m[base + std::countr_zero(bits)] += twice;
-      bits &= bits - 1;
+    float* base = m + (w << 6);
+    for (int g = 0; g < 64 / kWidth; ++g, bits >>= kWidth) {
+      float* p = base + g * kWidth;
+      tensor::simd::vstore(
+          p, tensor::simd::vadd(tensor::simd::vload(p), tensor::simd::signed_set1(alpha, bits)));
     }
+  }
+  const std::int64_t tail_base = full_words << 6;
+  if (tail_base < dim) {
+    const std::uint64_t bits = words[full_words];
+    for (std::int64_t i = tail_base; i < dim; ++i)
+      m[i] += ((bits >> (i & 63)) & 1u) ? alpha : -alpha;
   }
 }
 

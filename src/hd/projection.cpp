@@ -1,7 +1,10 @@
 #include "hd/projection.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "tensor/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nshd::hd {
@@ -32,31 +35,28 @@ RandomProjection::RandomProjection(std::int64_t dim, std::int64_t features,
   }
 }
 
+void RandomProjection::project_rows(const float* v, float* out, std::int64_t r0,
+                                    std::int64_t r1) const {
+  // Per row: sum_i P[r,i] * v[i], accumulated directly as a signed sum over
+  // whole 64-bit words (sign-mask expansion).  The old 2*sum_set - total
+  // split — and its per-sample serial `total` reduction — is gone entirely.
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const std::uint64_t* row = bits_.data() + r * words_per_row_;
+    out[r] = tensor::simd::signed_sum(v, row, features_);
+  }
+}
+
+void RandomProjection::project_into(const float* v, float* out) const {
+  // Rows are independent (disjoint writes into out), so chunks of rows
+  // parallelize without changing any accumulation order.
+  util::parallel_for(0, dim_, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    project_rows(v, out, r0, r1);
+  });
+}
+
 tensor::Tensor RandomProjection::project(const float* v) const {
   tensor::Tensor z(tensor::Shape{dim_});
-  // Per row: sum_i P[r,i] * v[i] = 2 * sum_{bits set} v[i] - sum_all v.
-  double total = 0.0;
-  for (std::int64_t i = 0; i < features_; ++i) total += v[i];
-
-  // Rows are independent (disjoint writes into z), so chunks of rows
-  // parallelize without changing any accumulation order.
-  float* out = z.data();
-  util::parallel_for(0, dim_, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      const std::uint64_t* row = bits_.data() + r * words_per_row_;
-      double pos = 0.0;
-      for (std::int64_t w = 0; w < words_per_row_; ++w) {
-        std::uint64_t bits = row[w];
-        const std::int64_t base = w << 6;
-        while (bits != 0) {
-          const int b = std::countr_zero(bits);
-          pos += v[base + b];
-          bits &= bits - 1;
-        }
-      }
-      out[r] = static_cast<float>(2.0 * pos - total);
-    }
-  });
+  project_into(v, z.data());
   return z;
 }
 
@@ -85,15 +85,17 @@ Hypervector RandomProjection::encode(const tensor::Tensor& v,
 std::vector<Hypervector> RandomProjection::encode_all(
     const std::vector<tensor::Tensor>& batch) const {
   std::vector<Hypervector> out(batch.size());
-  // Samples are independent; the nested project() inside encode() runs
-  // inline on whichever worker owns the sample chunk.
+  // Samples are the parallel axis; each chunk reuses one pre-sign buffer
+  // and runs the row kernel serially, which is bitwise identical to the
+  // row-parallel encode() because rows never share accumulators.
   util::parallel_for(
       0, static_cast<std::int64_t>(batch.size()), kSampleGrain,
       [&](std::int64_t b, std::int64_t e) {
+        std::vector<float> z(static_cast<std::size_t>(dim_));
         for (std::int64_t i = b; i < e; ++i) {
           assert(batch[static_cast<std::size_t>(i)].numel() == features_);
-          out[static_cast<std::size_t>(i)] =
-              encode(batch[static_cast<std::size_t>(i)].data());
+          project_rows(batch[static_cast<std::size_t>(i)].data(), z.data(), 0, dim_);
+          out[static_cast<std::size_t>(i)] = Hypervector::from_sign(z.data(), dim_);
         }
       });
   return out;
@@ -102,33 +104,35 @@ std::vector<Hypervector> RandomProjection::encode_all(
 tensor::Tensor RandomProjection::decode(const tensor::Tensor& g_h) const {
   assert(g_h.numel() == dim_);
   tensor::Tensor g_v(tensor::Shape{features_});
-  // g_v[i] = sum_r P[r,i] g_r = 2 * sum_{r: bit i set} g_r - sum_r g_r, so
-  // only set bits need visiting.
-  double total = 0.0;
-  for (std::int64_t r = 0; r < dim_; ++r) total += g_h[r];
-  // Parallel over 64-feature words: each chunk owns a disjoint feature
-  // range and walks rows in full order, so per-feature accumulation order
-  // matches the serial kernel exactly.
+  // g_v[i] = sum_r P[r,i] * g_r, accumulated as signed broadcasts of g_r
+  // over whole words.  Parallel over 64-feature words: each chunk owns a
+  // disjoint feature range and walks rows in full order, so per-feature
+  // accumulation order matches the serial kernel exactly.
+  using tensor::simd::kWidth;
   float* out = g_v.data();
   util::parallel_for(
       0, words_per_row_, kWordGrain, [&](std::int64_t w0, std::int64_t w1) {
-        for (std::int64_t r = 0; r < dim_; ++r) {
-          const float g = g_h[r];
-          if (g == 0.0f) continue;
-          const std::uint64_t* row = bits_.data() + r * words_per_row_;
-          for (std::int64_t w = w0; w < w1; ++w) {
-            std::uint64_t bits = row[w];
-            const std::int64_t base = w << 6;
-            while (bits != 0) {
-              const int b = std::countr_zero(bits);
-              out[base + b] += g;
-              bits &= bits - 1;
+        for (std::int64_t w = w0; w < w1; ++w) {
+          const std::int64_t base = w << 6;
+          // A partial tail word runs the very same vector loop: its padding
+          // bits are zeroed at construction, so the padding lanes of `acc`
+          // just collect -g junk that the trimmed memcpy never copies out.
+          const std::int64_t lanes = std::min<std::int64_t>(64, features_ - base);
+          alignas(64) float acc[64] = {};
+          for (std::int64_t r = 0; r < dim_; ++r) {
+            const float g = g_h[r];
+            if (g == 0.0f) continue;
+            std::uint64_t bits = bits_[static_cast<std::size_t>(r * words_per_row_ + w)];
+            for (int gr = 0; gr < 64 / kWidth; ++gr, bits >>= kWidth) {
+              float* p = acc + gr * kWidth;
+              tensor::simd::vstore(
+                  p, tensor::simd::vadd(tensor::simd::vload(p),
+                                        tensor::simd::signed_set1(g, bits)));
             }
           }
+          std::memcpy(out + base, acc, static_cast<std::size_t>(lanes) * sizeof(float));
         }
       });
-  const auto t = static_cast<float>(total);
-  for (std::int64_t i = 0; i < features_; ++i) g_v[i] = 2.0f * g_v[i] - t;
   return g_v;
 }
 

@@ -29,6 +29,9 @@ class RandomProjection {
   tensor::Tensor project(const float* v) const;
   tensor::Tensor project(const tensor::Tensor& v) const;
 
+  /// Row-parallel projection into caller memory (`out` has length dim).
+  void project_into(const float* v, float* out) const;
+
   /// Full encoding H = sign(P . v).
   Hypervector encode(const float* v) const;
   Hypervector encode(const tensor::Tensor& v) const;
@@ -57,6 +60,10 @@ class RandomProjection {
   }
 
  private:
+  /// Serial row kernel shared by project_into (row-parallel) and
+  /// encode_all (sample-parallel): one fixed accumulation order per row.
+  void project_rows(const float* v, float* out, std::int64_t r0, std::int64_t r1) const;
+
   std::int64_t dim_, features_, words_per_row_;
   std::vector<std::uint64_t> bits_;  // row-major, words_per_row_ per row
 };

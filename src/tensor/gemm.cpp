@@ -3,40 +3,210 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nshd::tensor {
 
 namespace {
-// Block sizes tuned for a ~32KB L1 / 1MB L2 core; correctness does not
-// depend on them.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockK = 256;
+
+using simd::VF;
+using simd::kWidth;
+
 // Rows of C per parallel chunk.  Fixed (never derived from the thread
 // count) so the partitioning — and with it every float — is identical for
 // any NSHD_THREADS value.  Each chunk owns a disjoint row range of C.
 constexpr std::int64_t kRowGrain = 16;
+// Rows per parallel chunk for gemv (rows are cheap: one dot each).
+constexpr std::int64_t kGemvGrain = 16;
+// Columns of y per parallel chunk for gemv_t (chunks own disjoint y spans).
+// Wide spans keep each chunk's walk over A close to a sequential stream —
+// narrow ones turn the memory-bound kernel into strided hops — so the grain
+// only splits matrices wide enough that fragmentation is amortized.
+constexpr std::int64_t kGemvTColGrain = 4096;
+
+// Micro-tile shape: MR rows by NRV vector registers of C accumulators held
+// across the whole K loop (8 independent FMA chains).  kRowGrain is a
+// multiple of MR so row grouping is identical for every chunk partition.
+constexpr int MR = 4;
+constexpr int NRV = 2;
+constexpr std::int64_t NR = NRV * kWidth;
+static_assert(kRowGrain % MR == 0);
+
+// Per-thread arena for packed B panels.  Frame-scoped per call, so nested
+// gemms (a worker thread calling gemm inside an outer parallel_for) each
+// see their own stack of panels.
+thread_local Workspace tl_pack_ws;
+
+/// Packs row-major B[K,N] into column panels of NR contiguous floats per k
+/// step, zero-padded past column N, so the micro-kernel's two B loads are
+/// unit-stride regardless of n.
+void pack_b_panels(const float* b, float* packed, std::int64_t k, std::int64_t n) {
+  const std::int64_t panels = (n + NR - 1) / NR;
+  util::parallel_for(0, panels, 1, [=](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t jp = q0; jp < q1; ++jp) {
+      const std::int64_t j0 = jp * NR;
+      const std::int64_t cols = std::min<std::int64_t>(NR, n - j0);
+      float* dst = packed + jp * k * NR;
+      for (std::int64_t p = 0; p < k; ++p, dst += NR) {
+        const float* src = b + p * n + j0;
+        for (std::int64_t jj = 0; jj < cols; ++jj) dst[jj] = src[jj];
+        for (std::int64_t jj = cols; jj < NR; ++jj) dst[jj] = 0.0f;
+      }
+    }
+  });
+}
+
+/// ROWS x NR register tile of A[i..i+ROWS) times one packed panel, written
+/// to `tile` (row stride NR).  Accumulation runs p = 0..k in order within
+/// each register lane, so every C element has one fixed summation order.
+template <int ROWS>
+inline void gemm_micro(const float* a, std::int64_t lda, const float* panel,
+                       std::int64_t k, float* tile) {
+  VF acc[ROWS][NRV];
+  for (int r = 0; r < ROWS; ++r)
+    for (int v = 0; v < NRV; ++v) acc[r][v] = simd::vzero();
+  const float* bp = panel;
+  for (std::int64_t p = 0; p < k; ++p, bp += NR) {
+    const VF b0 = simd::vload(bp);
+    const VF b1 = simd::vload(bp + kWidth);
+    for (int r = 0; r < ROWS; ++r) {
+      const VF ar = simd::vset1(a[r * lda + p]);
+      acc[r][0] = simd::vfmadd(ar, b0, acc[r][0]);
+      acc[r][1] = simd::vfmadd(ar, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    simd::vstore(tile + r * NR, acc[r][0]);
+    simd::vstore(tile + r * NR + kWidth, acc[r][1]);
+  }
+}
+
+/// Merges a ROWS x `cols` tile into C (only valid columns are touched, so
+/// panel zero-padding never leaks past N).
+template <int ROWS>
+inline void store_tile(const float* tile, float* cbase, std::int64_t ldc,
+                       std::int64_t cols, bool accumulate) {
+  for (int r = 0; r < ROWS; ++r) {
+    float* ci = cbase + r * ldc;
+    const float* ti = tile + r * NR;
+    if (accumulate) {
+      for (std::int64_t jj = 0; jj < cols; ++jj) ci[jj] += ti[jj];
+    } else {
+      for (std::int64_t jj = 0; jj < cols; ++jj) ci[jj] = ti[jj];
+    }
+  }
+}
+
+/// ROWS x COLS block of dot products for the BT form: vector partials per
+/// (i,j) pair over the shared K axis, fixed-order hsum, then a scalar K
+/// tail — one summation order per element, independent of chunking.
+template <int ROWS, int COLS>
+inline void bt_tile(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                    std::int64_t k, float* out, std::int64_t ldo, bool accumulate) {
+  VF acc[ROWS][COLS];
+  for (int r = 0; r < ROWS; ++r)
+    for (int cc = 0; cc < COLS; ++cc) acc[r][cc] = simd::vzero();
+  std::int64_t p = 0;
+  for (; p + kWidth <= k; p += kWidth) {
+    VF av[ROWS];
+    for (int r = 0; r < ROWS; ++r) av[r] = simd::vload(a + r * lda + p);
+    for (int cc = 0; cc < COLS; ++cc) {
+      const VF bv = simd::vload(b + cc * ldb + p);
+      for (int r = 0; r < ROWS; ++r) acc[r][cc] = simd::vfmadd(av[r], bv, acc[r][cc]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    for (int cc = 0; cc < COLS; ++cc) {
+      float s = simd::vhsum(acc[r][cc]);
+      for (std::int64_t q = p; q < k; ++q) s += a[r * lda + q] * b[cc * ldb + q];
+      float* o = out + r * ldo + cc;
+      *o = accumulate ? *o + s : s;
+    }
+  }
+}
+
+template <int ROWS>
+inline void bt_dispatch_cols(std::int64_t cols, const float* a, std::int64_t lda,
+                             const float* b, std::int64_t ldb, std::int64_t k,
+                             float* out, std::int64_t ldo, bool accumulate) {
+  switch (cols) {
+    case 4: bt_tile<ROWS, 4>(a, lda, b, ldb, k, out, ldo, accumulate); break;
+    case 3: bt_tile<ROWS, 3>(a, lda, b, ldb, k, out, ldo, accumulate); break;
+    case 2: bt_tile<ROWS, 2>(a, lda, b, ldb, k, out, ldo, accumulate); break;
+    default: bt_tile<ROWS, 1>(a, lda, b, ldb, k, out, ldo, accumulate); break;
+  }
+}
+
+/// ROWS x NR register tile for the AT form: per k step, broadcast
+/// A[p, i..i+ROWS) (contiguous) against two B vectors.
+template <int ROWS>
+inline void at_tile(const float* a, const float* b, std::int64_t m, std::int64_t n,
+                    std::int64_t k, std::int64_t i0, std::int64_t j0, float* tile) {
+  VF acc[ROWS][NRV];
+  for (int r = 0; r < ROWS; ++r)
+    for (int v = 0; v < NRV; ++v) acc[r][v] = simd::vzero();
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = b + p * n + j0;
+    const VF b0 = simd::vload(bp);
+    const VF b1 = simd::vload(bp + kWidth);
+    const float* ap = a + p * m + i0;
+    for (int r = 0; r < ROWS; ++r) {
+      const VF ar = simd::vset1(ap[r]);
+      acc[r][0] = simd::vfmadd(ar, b0, acc[r][0]);
+      acc[r][1] = simd::vfmadd(ar, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    simd::vstore(tile + r * NR, acc[r][0]);
+    simd::vstore(tile + r * NR + kWidth, acc[r][1]);
+  }
+}
+
+/// Multi-accumulator vector dot with a fixed reduction schedule: four
+/// independent chains over 4*kWidth-wide strips, then one chain over
+/// kWidth strips, pairwise-combined hsum, scalar tail.
+inline float dot_kernel(const float* a, const float* b, std::int64_t n) {
+  VF acc0 = simd::vzero(), acc1 = simd::vzero(), acc2 = simd::vzero(), acc3 = simd::vzero();
+  std::int64_t i = 0;
+  for (; i + 4 * kWidth <= n; i += 4 * kWidth) {
+    acc0 = simd::vfmadd(simd::vload(a + i), simd::vload(b + i), acc0);
+    acc1 = simd::vfmadd(simd::vload(a + i + kWidth), simd::vload(b + i + kWidth), acc1);
+    acc2 = simd::vfmadd(simd::vload(a + i + 2 * kWidth), simd::vload(b + i + 2 * kWidth), acc2);
+    acc3 = simd::vfmadd(simd::vload(a + i + 3 * kWidth), simd::vload(b + i + 3 * kWidth), acc3);
+  }
+  for (; i + kWidth <= n; i += kWidth)
+    acc0 = simd::vfmadd(simd::vload(a + i), simd::vload(b + i), acc0);
+  float s = simd::vhsum(simd::vadd(simd::vadd(acc0, acc1), simd::vadd(acc2, acc3)));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  Workspace& ws = tl_pack_ws;
+  Workspace::Frame frame(ws);
+  const std::int64_t panels = (n + NR - 1) / NR;
+  float* packed = ws.alloc(panels * k * NR);
+  pack_b_panels(b, packed, k, n);
   util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    if (!accumulate)
-      std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
-    for (std::int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
-      const std::int64_t i1 = std::min(i0 + kBlockM, r1);
-      for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-        const std::int64_t p1 = std::min(p0 + kBlockK, k);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* ci = c + i * n;
-          const float* ai = a + i * k;
-          for (std::int64_t p = p0; p < p1; ++p) {
-            const float aip = ai[p];
-            if (aip == 0.0f) continue;
-            const float* bp = b + p * n;
-            for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-          }
-        }
+    alignas(64) float tile[MR * NR];
+    for (std::int64_t jp = 0; jp < panels; ++jp) {
+      const float* panel = packed + jp * k * NR;
+      const std::int64_t j0 = jp * NR;
+      const std::int64_t cols = std::min<std::int64_t>(NR, n - j0);
+      std::int64_t i = r0;
+      for (; i + MR <= r1; i += MR) {
+        gemm_micro<MR>(a + i * k, k, panel, k, tile);
+        store_tile<MR>(tile, c + i * n + j0, n, cols, accumulate);
+      }
+      for (; i < r1; ++i) {
+        gemm_micro<1>(a + i * k, k, panel, k, tile);
+        store_tile<1>(tile, c + i * n + j0, n, cols, accumulate);
       }
     }
   });
@@ -45,65 +215,114 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
 void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate) {
   // C[i,j] = sum_p A[i,p] * B[j,p]: rows of both operands are contiguous, so
-  // a straight dot-product loop is cache-friendly.
+  // the tile is a 2x4 block of vectorized dot products (8 FMA chains).
   util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      const float* ai = a + i * k;
-      float* ci = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* bj = b + j * k;
-        float sum = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
-        ci[j] = accumulate ? ci[j] + sum : sum;
-      }
+    for (std::int64_t j0 = 0; j0 < n; j0 += 4) {
+      const std::int64_t cols = std::min<std::int64_t>(4, n - j0);
+      const float* bj = b + j0 * k;
+      std::int64_t i = r0;
+      for (; i + 2 <= r1; i += 2)
+        bt_dispatch_cols<2>(cols, a + i * k, k, bj, k, k, c + i * n + j0, n, accumulate);
+      if (i < r1)
+        bt_dispatch_cols<1>(cols, a + i * k, k, bj, k, k, c + i * n + j0, n, accumulate);
     }
   });
 }
 
 void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate) {
-  // C[i,j] = sum_p A[p,i] * B[p,j].  Each chunk owns a row range of C and
-  // walks p in full order, so per-element accumulation order matches the
-  // serial kernel exactly.
+  // C[i,j] = sum_p A[p,i] * B[p,j].  Each chunk owns a row range of C; the
+  // tile accumulators walk p in full order, so per-element accumulation
+  // order is chunk-independent.
   util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    if (!accumulate)
-      std::memset(c + r0 * n, 0, static_cast<std::size_t>((r1 - r0) * n) * sizeof(float));
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* ap = a + p * m;
-      const float* bp = b + p * n;
-      for (std::int64_t i = r0; i < r1; ++i) {
-        const float api = ap[i];
-        if (api == 0.0f) continue;
-        float* ci = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    alignas(64) float tile[MR * NR];
+    const std::int64_t jv = (n / NR) * NR;  // columns covered by full tiles
+    for (std::int64_t i = r0; i < r1; i += MR) {
+      const int rows = static_cast<int>(std::min<std::int64_t>(MR, r1 - i));
+      for (std::int64_t j0 = 0; j0 < jv; j0 += NR) {
+        switch (rows) {
+          case 4: at_tile<4>(a, b, m, n, k, i, j0, tile); break;
+          case 3: at_tile<3>(a, b, m, n, k, i, j0, tile); break;
+          case 2: at_tile<2>(a, b, m, n, k, i, j0, tile); break;
+          default: at_tile<1>(a, b, m, n, k, i, j0, tile); break;
+        }
+        switch (rows) {
+          case 4: store_tile<4>(tile, c + i * n + j0, n, NR, accumulate); break;
+          case 3: store_tile<3>(tile, c + i * n + j0, n, NR, accumulate); break;
+          case 2: store_tile<2>(tile, c + i * n + j0, n, NR, accumulate); break;
+          default: store_tile<1>(tile, c + i * n + j0, n, NR, accumulate); break;
+        }
+      }
+      // Scalar column tail (vector loads would run past row ends of B).
+      for (int r = 0; r < rows; ++r) {
+        for (std::int64_t j = jv; j < n; ++j) {
+          float s = 0.0f;
+          for (std::int64_t p = 0; p < k; ++p) s += a[p * m + i + r] * b[p * n + j];
+          float* o = c + (i + r) * n + j;
+          *o = accumulate ? *o + s : s;
+        }
       }
     }
   });
 }
 
 void gemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * n;
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) sum += ai[j] * x[j];
-    y[i] = sum;
-  }
+  util::parallel_for(0, m, kGemvGrain, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) y[i] = dot_kernel(a + i * n, x, n);
+  });
 }
 
 void gemv_t(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {
-  std::memset(y, 0, static_cast<std::size_t>(n) * sizeof(float));
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0f) continue;
-    const float* ai = a + i * n;
-    for (std::int64_t j = 0; j < n; ++j) y[j] += xi * ai[j];
-  }
+  // Chunks own disjoint column spans of y; rows are walked in order within
+  // each chunk — 4 at a time, with chained fmadds that keep the exact
+  // sequential i = 0..m accumulation order per y[j] — so the result is
+  // identical regardless of the partition.  Blocking rows quarters the
+  // passes over y and gives the prefetcher 4 concurrent row streams.
+  util::parallel_for(0, n, kGemvTColGrain, [=](std::int64_t j0, std::int64_t j1) {
+    std::memset(y + j0, 0, static_cast<std::size_t>(j1 - j0) * sizeof(float));
+    std::int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+      if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
+      const float* a0 = a + i * n;
+      const float* a1 = a0 + n;
+      const float* a2 = a1 + n;
+      const float* a3 = a2 + n;
+      const VF v0 = simd::vset1(x0), v1 = simd::vset1(x1);
+      const VF v2 = simd::vset1(x2), v3 = simd::vset1(x3);
+      std::int64_t j = j0;
+      for (; j + kWidth <= j1; j += kWidth) {
+        VF acc = simd::vload(y + j);
+        acc = simd::vfmadd(v0, simd::vload(a0 + j), acc);
+        acc = simd::vfmadd(v1, simd::vload(a1 + j), acc);
+        acc = simd::vfmadd(v2, simd::vload(a2 + j), acc);
+        acc = simd::vfmadd(v3, simd::vload(a3 + j), acc);
+        simd::vstore(y + j, acc);
+      }
+      for (; j < j1; ++j) {
+        float t = y[j];
+        t += x0 * a0[j];
+        t += x1 * a1[j];
+        t += x2 * a2[j];
+        t += x3 * a3[j];
+        y[j] = t;
+      }
+    }
+    for (; i < m; ++i) {
+      const float xi = x[i];
+      if (xi == 0.0f) continue;
+      const VF xv = simd::vset1(xi);
+      const float* ai = a + i * n;
+      std::int64_t j = j0;
+      for (; j + kWidth <= j1; j += kWidth)
+        simd::vstore(y + j, simd::vfmadd(xv, simd::vload(ai + j), simd::vload(y + j)));
+      for (; j < j1; ++j) y[j] += xi * ai[j];
+    }
+  });
 }
 
 float dot(const float* a, const float* b, std::int64_t n) {
-  float sum = 0.0f;
-  for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
-  return sum;
+  return dot_kernel(a, b, n);
 }
 
 }  // namespace nshd::tensor

@@ -2,9 +2,16 @@
 //
 // All heavy math in the NN substrate funnels through these routines:
 // convolution (via im2col), linear layers, HD random projection, class
-// hypervector similarity banks.  The kernel is a cache-blocked ikj loop that
-// GCC auto-vectorizes well at -O3; it is not BLAS-fast but is more than
-// sufficient for the scaled-down models this reproduction trains.
+// hypervector similarity banks.  The kernels are register-blocked
+// micro-kernels on the fixed-width SIMD layer (tensor/simd.hpp): `gemm`
+// packs B into NR-wide panels through a per-thread Workspace and holds a
+// 4-row x 2-vector C tile in registers across the whole K loop; `gemm_bt`
+// runs 2x4 blocks of vectorized dot products; `gemv`/`gemv_t`/`dot` use
+// multi-accumulator vector loops.  Every C element has one fixed
+// accumulation order per binary — independent of NSHD_THREADS, because
+// parallel chunk boundaries depend only on the range and grain.  Both the
+// legacy layer `forward` and the planned `forward_into` path call these
+// same entry points, which keeps the plan-parity tests bitwise.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,279 @@
+// Portable fixed-width SIMD layer for the f32 and packed-bit kernels.
+//
+// One ISA is selected at compile time — AVX2+FMA, SSE2, NEON, or a scalar
+// fallback — and the vector width `kWidth` is a compile-time constant, so
+// every kernel built on this header has a single, fixed accumulation order
+// per binary.  That is the determinism contract: results are bitwise
+// reproducible for a given build (and invariant to NSHD_THREADS, which only
+// moves fixed-boundary chunks between workers), but may differ across ISAs
+// because lane count and FMA contraction differ.  The portable default build
+// selects SSE2 on x86-64; configure with -DNSHD_NATIVE=ON to unlock AVX2+FMA
+// where the build machine has it.
+//
+// The abstraction is deliberately tiny: a vector-of-float value type `VF`
+// with load/store/broadcast, add/sub/mul/fmadd, a fixed-order horizontal
+// sum, and two bitmap helpers (`signed_load`, `signed_set1`) that apply a
+// per-lane ±1 sign taken from the low `kWidth` bits of a packed bipolar
+// word.  The sign helpers are what turn the HD encode/similarity loops from
+// per-set-bit scalar gathers into straight-line vector code: bit=1 keeps
+// the lane, bit=0 flips its sign bit (bipolar -1), with no branches and no
+// dependence on the bit population.
+#pragma once
+
+#include <cstdint>
+
+#if defined(NSHD_SIMD_FORCE_SCALAR)
+#define NSHD_SIMD_SCALAR 1
+#elif defined(__AVX2__) && defined(__FMA__)
+#define NSHD_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+#define NSHD_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define NSHD_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define NSHD_SIMD_SCALAR 1
+#endif
+
+namespace nshd::tensor::simd {
+
+#if defined(NSHD_SIMD_AVX2)
+
+inline constexpr int kWidth = 8;
+inline constexpr const char* kIsaName = "avx2+fma";
+
+struct VF {
+  __m256 v;
+};
+
+inline VF vzero() { return {_mm256_setzero_ps()}; }
+inline VF vset1(float x) { return {_mm256_set1_ps(x)}; }
+inline VF vload(const float* p) { return {_mm256_loadu_ps(p)}; }
+inline void vstore(float* p, VF a) { _mm256_storeu_ps(p, a.v); }
+inline VF vadd(VF a, VF b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline VF vsub(VF a, VF b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline VF vmul(VF a, VF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+/// a*b + c (fused on this ISA).
+inline VF vfmadd(VF a, VF b, VF c) { return {_mm256_fmadd_ps(a.v, b.v, c.v)}; }
+
+/// Fixed-order horizontal sum: low and high 128-bit halves are added
+/// lane-wise, then reduced pairwise — the order never varies at runtime.
+inline float vhsum(VF a) {
+  const __m128 lo = _mm256_castps256_ps128(a.v);
+  const __m128 hi = _mm256_extractf128_ps(a.v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+namespace detail {
+inline __m256i lane_signflip(std::uint64_t bits) {
+  // Lane l gets 0x80000000 when bit l is CLEAR (bipolar -1), 0 when set.
+  const __m256i lane_bit = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256i b = _mm256_set1_epi32(static_cast<int>(bits & 0xFFu));
+  const __m256i set = _mm256_cmpeq_epi32(_mm256_and_si256(b, lane_bit), lane_bit);
+  return _mm256_andnot_si256(set, _mm256_set1_epi32(static_cast<int>(0x80000000u)));
+}
+}  // namespace detail
+
+/// Lane l: bit l of `bits` set -> +p[l], clear -> -p[l].
+inline VF signed_load(const float* p, std::uint64_t bits) {
+  return {_mm256_xor_ps(_mm256_loadu_ps(p),
+                        _mm256_castsi256_ps(detail::lane_signflip(bits)))};
+}
+
+/// Lane l: bit l of `bits` set -> +x, clear -> -x.
+inline VF signed_set1(float x, std::uint64_t bits) {
+  return {_mm256_xor_ps(_mm256_set1_ps(x),
+                        _mm256_castsi256_ps(detail::lane_signflip(bits)))};
+}
+
+#elif defined(NSHD_SIMD_SSE2)
+
+inline constexpr int kWidth = 4;
+inline constexpr const char* kIsaName = "sse2";
+
+struct VF {
+  __m128 v;
+};
+
+inline VF vzero() { return {_mm_setzero_ps()}; }
+inline VF vset1(float x) { return {_mm_set1_ps(x)}; }
+inline VF vload(const float* p) { return {_mm_loadu_ps(p)}; }
+inline void vstore(float* p, VF a) { _mm_storeu_ps(p, a.v); }
+inline VF vadd(VF a, VF b) { return {_mm_add_ps(a.v, b.v)}; }
+inline VF vsub(VF a, VF b) { return {_mm_sub_ps(a.v, b.v)}; }
+inline VF vmul(VF a, VF b) { return {_mm_mul_ps(a.v, b.v)}; }
+/// a*b + c.  SSE2 has no FMA: two roundings, fixed per build.
+inline VF vfmadd(VF a, VF b, VF c) { return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)}; }
+
+inline float vhsum(VF a) {
+  __m128 s = _mm_add_ps(a.v, _mm_movehl_ps(a.v, a.v));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+namespace detail {
+inline __m128i lane_signflip(std::uint64_t bits) {
+  const __m128i lane_bit = _mm_setr_epi32(1, 2, 4, 8);
+  const __m128i b = _mm_set1_epi32(static_cast<int>(bits & 0xFu));
+  const __m128i set = _mm_cmpeq_epi32(_mm_and_si128(b, lane_bit), lane_bit);
+  return _mm_andnot_si128(set, _mm_set1_epi32(static_cast<int>(0x80000000u)));
+}
+}  // namespace detail
+
+inline VF signed_load(const float* p, std::uint64_t bits) {
+  return {_mm_xor_ps(_mm_loadu_ps(p), _mm_castsi128_ps(detail::lane_signflip(bits)))};
+}
+
+inline VF signed_set1(float x, std::uint64_t bits) {
+  return {_mm_xor_ps(_mm_set1_ps(x), _mm_castsi128_ps(detail::lane_signflip(bits)))};
+}
+
+#elif defined(NSHD_SIMD_NEON)
+
+inline constexpr int kWidth = 4;
+inline constexpr const char* kIsaName = "neon";
+
+struct VF {
+  float32x4_t v;
+};
+
+inline VF vzero() { return {vdupq_n_f32(0.0f)}; }
+inline VF vset1(float x) { return {vdupq_n_f32(x)}; }
+inline VF vload(const float* p) { return {vld1q_f32(p)}; }
+inline void vstore(float* p, VF a) { vst1q_f32(p, a.v); }
+inline VF vadd(VF a, VF b) { return {vaddq_f32(a.v, b.v)}; }
+inline VF vsub(VF a, VF b) { return {vsubq_f32(a.v, b.v)}; }
+inline VF vmul(VF a, VF b) { return {vmulq_f32(a.v, b.v)}; }
+inline VF vfmadd(VF a, VF b, VF c) { return {vfmaq_f32(c.v, a.v, b.v)}; }
+
+inline float vhsum(VF a) {
+  float32x2_t s = vadd_f32(vget_low_f32(a.v), vget_high_f32(a.v));
+  return vget_lane_f32(vpadd_f32(s, s), 0);
+}
+
+namespace detail {
+inline uint32x4_t lane_signflip(std::uint64_t bits) {
+  const uint32x4_t lane_bit = {1u, 2u, 4u, 8u};
+  const uint32x4_t b = vdupq_n_u32(static_cast<std::uint32_t>(bits & 0xFu));
+  const uint32x4_t set = vceqq_u32(vandq_u32(b, lane_bit), lane_bit);
+  return vbicq_u32(vdupq_n_u32(0x80000000u), set);
+}
+}  // namespace detail
+
+inline VF signed_load(const float* p, std::uint64_t bits) {
+  return {vreinterpretq_f32_u32(
+      veorq_u32(vreinterpretq_u32_f32(vld1q_f32(p)), detail::lane_signflip(bits)))};
+}
+
+inline VF signed_set1(float x, std::uint64_t bits) {
+  return {vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(vdupq_n_f32(x)),
+                                          detail::lane_signflip(bits)))};
+}
+
+#else  // scalar fallback
+
+inline constexpr int kWidth = 4;
+inline constexpr const char* kIsaName = "scalar";
+
+// Four explicit lanes so tail handling and accumulation order match the
+// vector ISAs' structure; plain loops the compiler may or may not fold.
+struct VF {
+  float v[4];
+};
+
+inline VF vzero() { return {{0.0f, 0.0f, 0.0f, 0.0f}}; }
+inline VF vset1(float x) { return {{x, x, x, x}}; }
+inline VF vload(const float* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void vstore(float* p, VF a) {
+  for (int l = 0; l < 4; ++l) p[l] = a.v[l];
+}
+inline VF vadd(VF a, VF b) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline VF vsub(VF a, VF b) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline VF vmul(VF a, VF b) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline VF vfmadd(VF a, VF b, VF c) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = a.v[l] * b.v[l] + c.v[l];
+  return r;
+}
+inline float vhsum(VF a) { return (a.v[0] + a.v[2]) + (a.v[1] + a.v[3]); }
+
+namespace detail {
+inline float flip(float x, bool keep) {
+  // Sign-bit flip without branching on the value itself.
+  return keep ? x : -x;
+}
+}  // namespace detail
+
+inline VF signed_load(const float* p, std::uint64_t bits) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = detail::flip(p[l], (bits >> l) & 1u);
+  return r;
+}
+
+inline VF signed_set1(float x, std::uint64_t bits) {
+  VF r;
+  for (int l = 0; l < 4; ++l) r.v[l] = detail::flip(x, (bits >> l) & 1u);
+  return r;
+}
+
+#endif
+
+/// Serial signed-accumulation dot of a float vector against a packed bipolar
+/// word stream: sum over i of (bit_i ? +m[i] : -m[i]), for `dim` elements
+/// with the words' low bits mapping to low indices.  Shared by the HD
+/// kernels (hd::dot, RandomProjection rows) so they agree on one
+/// accumulation order.  Uses four rotating vector accumulators (fixed
+/// schedule) plus a scalar tail.
+inline float signed_sum(const float* m, const std::uint64_t* words, std::int64_t dim) {
+  const std::int64_t full_words = dim >> 6;
+  VF acc0 = vzero(), acc1 = vzero(), acc2 = vzero(), acc3 = vzero();
+  constexpr int kGroups = 64 / kWidth;
+  for (std::int64_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = words[w];
+    const float* base = m + (w << 6);
+    for (int g = 0; g < kGroups; g += 4) {
+      acc0 = vadd(acc0, signed_load(base + (g + 0) * kWidth, bits));
+      bits >>= kWidth;
+      acc1 = vadd(acc1, signed_load(base + (g + 1) * kWidth, bits));
+      bits >>= kWidth;
+      acc2 = vadd(acc2, signed_load(base + (g + 2) * kWidth, bits));
+      bits >>= kWidth;
+      acc3 = vadd(acc3, signed_load(base + (g + 3) * kWidth, bits));
+      bits >>= kWidth;
+    }
+  }
+  // Whole kWidth groups of the partial tail word stay on the vector path —
+  // their loads end at or before m + dim — so the scalar remainder is at
+  // most kWidth - 1 elements instead of up to 63.
+  const std::int64_t tail_base = full_words << 6;
+  std::int64_t i = tail_base;
+  std::uint64_t bits = tail_base < dim ? words[full_words] : 0;
+  for (; i + kWidth <= dim; i += kWidth) {
+    acc0 = vadd(acc0, signed_load(m + i, bits));
+    bits >>= kWidth;
+  }
+  float sum = vhsum(vadd(vadd(acc0, acc1), vadd(acc2, acc3)));
+  for (; i < dim; ++i, bits >>= 1) {
+    sum += (bits & 1u) ? m[i] : -m[i];
+  }
+  return sum;
+}
+
+}  // namespace nshd::tensor::simd
