@@ -257,6 +257,9 @@ bool NshdModel::load_state(const std::vector<float>& blob) {
   }
   auto& bank = classifier_.bank().storage();
   std::copy_n(blob.begin() + static_cast<std::ptrdiff_t>(offset), bank.size(), bank.begin());
+  // The bank was overwritten behind the classifier's back; without this the
+  // cosine path would keep serving the *previous* bank's cached norms.
+  classifier_.invalidate_norms();
   return true;
 }
 

@@ -106,6 +106,11 @@ class HdClassifier {
     return norms_;
   }
 
+  /// Marks the cached norms stale.  Must be called by anyone who writes the
+  /// bank storage directly (e.g. restoring a snapshot through bank()) —
+  /// otherwise cosine similarities keep using the old norms.
+  void invalidate_norms() { norms_valid_ = false; }
+
   /// Gradient of the loss with respect to the query hypervector under the
   /// update vector u: g_h[d] = -sum_i u_i * M[i][d] / normalizer_i.  Used by
   /// the manifold-learner backprop (Sec. V-C).

@@ -60,6 +60,14 @@ std::unique_ptr<Workspace> InferencePlan::acquire_workspace() {
 void InferencePlan::release_workspace(std::unique_ptr<Workspace> ws) {
   std::lock_guard<std::mutex> lock(mutex_);
   peak_floats_ = std::max(peak_floats_, ws->peak_floats());
+  // A lease that grew past the planned budget (an oversized batch with
+  // n > max_batch) is destroyed instead of pooled: pooling it would pin the
+  // burst's arena forever and inflate steady-state memory.  Its peak was
+  // folded into peak_floats_ above, so high-water reporting stays accurate.
+  if (ws->capacity_floats() > planned_floats_) {
+    --total_workspaces_;
+    return;
+  }
   free_.push_back(std::move(ws));
 }
 
@@ -68,6 +76,20 @@ void InferencePlan::run_batch(const TensorView& in, TensorView out) {
   const std::int64_t batch = in.shape()[0];
   assert(out.numel() == batch * out_numel_per_sample_);
   if (batch == 0) return;
+
+  // An oversized batch (n > max_batch) needs more arena than the planned
+  // budget.  It gets a throwaway workspace sized for the burst instead of a
+  // pooled lease: growing a pooled workspace would pin the burst's memory in
+  // the pool forever (steady-state inflation after one spike).
+  if (batch > max_batch_) {
+    const auto scale = static_cast<std::size_t>(
+        (batch + max_batch_ - 1) / max_batch_);
+    Workspace burst(planned_floats_ * scale);
+    net_->forward_into_to(in, out, burst, last_layer_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    peak_floats_ = std::max(peak_floats_, burst.peak_floats());
+    return;
+  }
 
   std::unique_ptr<Workspace> ws = acquire_workspace();
   ws->reset();

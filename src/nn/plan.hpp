@@ -29,7 +29,9 @@ class InferencePlan {
  public:
   /// Plans layers [0, last_layer] of `net` for per-sample CHW shape
   /// `sample_chw`.  `max_batch` only sizes the pre-reserved workspaces;
-  /// run_batch accepts any batch (larger batches grow the arena).
+  /// run_batch accepts any batch.  A batch larger than max_batch grows its
+  /// leased arena for the call, and that oversized lease is then released
+  /// rather than pooled, so one burst never inflates steady-state memory.
   /// The net must outlive the plan and must not be mutated (trained)
   /// while plans over it are in use.
   InferencePlan(Sequential& net, Shape sample_chw, std::size_t last_layer,
@@ -65,7 +67,8 @@ class InferencePlan {
   /// Observed high-water usage across all workspaces this plan has leased.
   std::size_t peak_workspace_bytes() const;
 
-  /// Number of workspaces currently pooled (== max concurrency seen).
+  /// Number of workspaces alive (pooled + leased).  Tracks the maximum
+  /// concurrency seen, minus oversized leases that were released.
   std::size_t workspace_count() const;
 
  private:

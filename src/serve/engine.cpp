@@ -1,0 +1,331 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace nshd::serve {
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kOk: return "ok";
+    case SubmitStatus::kUnknownModel: return "unknown-model";
+    case SubmitStatus::kBadShape: return "bad-shape";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kMaxBatch: return "max-batch";
+    case FlushReason::kDeadline: return "deadline";
+    case FlushReason::kDrain: return "drain";
+  }
+  return "?";
+}
+
+ModelBundle::ModelBundle(models::ZooModel zoo_model, std::size_t cut_layer,
+                         const core::NshdConfig& config, std::int64_t max_batch)
+    : zoo(std::move(zoo_model)),
+      cut(cut_layer),
+      nshd(zoo, cut_layer, config),
+      plan(zoo.net, zoo.input_chw, cut_layer, max_batch) {}
+
+bool save_bundle_checkpoint(const core::NshdModel& model, const std::string& key,
+                            const std::string& path) {
+  util::Checkpoint checkpoint;
+  checkpoint.key = key;
+  checkpoint.meta = "serve-bundle";
+  util::CheckpointTensor state;
+  state.values = model.save_state();
+  state.dims = {static_cast<std::int64_t>(state.values.size())};
+  checkpoint.tensors.push_back(std::move(state));
+  return util::write_checkpoint_file(path, checkpoint);
+}
+
+Engine::Engine(const EngineConfig& config) : config_(config) {
+  config_.workers = std::max(1, config_.workers);
+  config_.max_batch = std::max<std::int64_t>(1, config_.max_batch);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  deadline_ = std::chrono::microseconds(static_cast<std::int64_t>(
+      std::max(0.0, config_.batch_deadline_ms) * 1000.0));
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::register_model(const std::string& id,
+                            std::unique_ptr<ModelBundle> bundle) {
+  assert(bundle != nullptr);
+  // Warm the classifier's lazy norm cache before the bundle is reachable by
+  // workers: similarities_all refreshes it on first use, and two concurrent
+  // batches must never race that mutable refresh.
+  (void)bundle->nshd.classifier().class_norms();
+  auto entry = std::make_unique<ModelEntry>();
+  entry->bundle = std::move(bundle);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!registry_.emplace(id, std::move(entry)).second) {
+    throw std::invalid_argument("serve::Engine: model '" + id +
+                                "' is already registered (use reload())");
+  }
+}
+
+const ModelBundle* Engine::bundle(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second->bundle.get();
+}
+
+SubmitStatus Engine::submit(const std::string& id, tensor::Tensor image,
+                            std::future<Response>* response) {
+  assert(response != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.rejected_unknown;
+    return SubmitStatus::kUnknownModel;
+  }
+  ModelEntry& entry = *it->second;
+
+  // Accept [C,H,W] or [1,C,H,W], matching the model's input exactly.
+  const tensor::Shape& want = entry.bundle->zoo.input_chw;
+  const tensor::Shape& got = image.shape();
+  const bool shape_ok =
+      (got.rank() == 3 && got[0] == want[0] && got[1] == want[1] &&
+       got[2] == want[2]) ||
+      (got.rank() == 4 && got[0] == 1 && got[1] == want[0] &&
+       got[2] == want[1] && got[3] == want[2]);
+  if (!shape_ok) {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.rejected_shape;
+    return SubmitStatus::kBadShape;
+  }
+  if (draining_) {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.rejected_shutdown;
+    return SubmitStatus::kShutdown;
+  }
+  if (entry.queue.size() >= config_.queue_capacity) {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.rejected_full;
+    return SubmitStatus::kQueueFull;
+  }
+
+  Request request;
+  request.image = std::move(image);
+  request.enqueued = Clock::now();
+  request.deadline = request.enqueued + deadline_;
+  *response = request.promise.get_future();
+  entry.queue.push_back(std::move(request));
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+  return SubmitStatus::kOk;
+}
+
+void Engine::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    // Scan the registry for (a) a flush-ready queue — full batch, expired
+    // deadline, or drain — preferring the one whose head request is oldest
+    // (FIFO fairness across models), and (b) the earliest pending deadline
+    // to sleep until when nothing is ready yet.
+    ModelEntry* ready = nullptr;
+    Clock::time_point ready_oldest{};
+    bool any_pending = false;
+    Clock::time_point min_deadline{};
+    for (auto& [id, entry] : registry_) {
+      if (entry->queue.empty()) continue;
+      const Request& head = entry->queue.front();
+      const bool full =
+          entry->queue.size() >= static_cast<std::size_t>(config_.max_batch);
+      if (full || draining_ || head.deadline <= now) {
+        if (ready == nullptr || head.enqueued < ready_oldest) {
+          ready = entry.get();
+          ready_oldest = head.enqueued;
+        }
+      }
+      if (!any_pending || head.deadline < min_deadline) {
+        min_deadline = head.deadline;
+        any_pending = true;
+      }
+    }
+
+    if (ready != nullptr) {
+      const std::size_t take =
+          std::min(ready->queue.size(),
+                   static_cast<std::size_t>(config_.max_batch));
+      const FlushReason reason =
+          take == static_cast<std::size_t>(config_.max_batch)
+              ? FlushReason::kMaxBatch
+              : (draining_ ? FlushReason::kDrain : FlushReason::kDeadline);
+      std::vector<Request> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(ready->queue.front()));
+        ready->queue.pop_front();
+      }
+      ModelEntry* entry = ready;
+      lock.unlock();
+      execute_batch(*entry, std::move(batch), reason);
+      lock.lock();
+      continue;
+    }
+
+    // Draining with nothing ready means nothing is pending at all (any
+    // non-empty queue is flush-ready during a drain): this worker is done.
+    if (draining_) return;
+    if (any_pending) {
+      work_cv_.wait_until(lock, min_deadline);
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void Engine::execute_batch(ModelEntry& entry, std::vector<Request> batch,
+                           FlushReason reason) {
+  const Clock::time_point formed = Clock::now();
+  ModelBundle& bundle = *entry.bundle;
+  const auto n = static_cast<std::int64_t>(batch.size());
+  const tensor::Shape& chw = bundle.zoo.input_chw;
+  const std::int64_t sample_numel = chw.numel();
+
+  // Gather request images into one contiguous [n, C, H, W] batch tensor.
+  tensor::Tensor images(tensor::Shape{n, chw[0], chw[1], chw[2]});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(images.data() + i * sample_numel, batch[static_cast<std::size_t>(i)].image.data(),
+                static_cast<std::size_t>(sample_numel) * sizeof(float));
+  }
+
+  tensor::Tensor sims;
+  {
+    // Shared against reload(): in-flight batches finish on the weights they
+    // started with; a reload waits for them, then swaps exclusively.
+    std::shared_lock<std::shared_mutex> guard(entry.reload_mutex);
+
+    const std::int64_t f = bundle.plan.out_features();
+    core::ExtractedFeatures features;
+    features.cut_layer = bundle.cut;
+    const tensor::Shape out_one = bundle.plan.output_shape(1);
+    features.chw = tensor::Shape{out_one[1], out_one.rank() > 2 ? out_one[2] : 1,
+                                 out_one.rank() > 3 ? out_one[3] : 1};
+    features.values = tensor::Tensor(tensor::Shape{n, f});
+    bundle.plan.run_batch(images.view(), features.values.view());
+
+    const std::vector<hd::Hypervector> queries = bundle.nshd.symbolize_all(features);
+    sims = bundle.nshd.classifier().similarities_all(queries,
+                                                     bundle.nshd.config().similarity);
+  }
+
+  const std::int64_t k = bundle.nshd.classifier().num_classes();
+  const Clock::time_point done = Clock::now();
+
+  // Count the batch *before* fulfilling any promise: a caller that wakes on
+  // future.get() must already see this batch in stats().
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.batches;
+    stats_.completed += static_cast<std::uint64_t>(n);
+    switch (reason) {
+      case FlushReason::kMaxBatch: ++stats_.max_batch_flushes; break;
+      case FlushReason::kDeadline: ++stats_.deadline_flushes; break;
+      case FlushReason::kDrain: ++stats_.drain_flushes; break;
+    }
+  }
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    Request& request = batch[static_cast<std::size_t>(i)];
+    Response response;
+    const float* row = sims.data() + i * k;
+    response.scores.assign(row, row + k);
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < k; ++c)
+      if (row[c] > row[best]) best = c;
+    response.predicted = best;
+    response.flush = reason;
+    response.batch_size = n;
+    response.queue_ms =
+        std::chrono::duration<double, std::milli>(formed - request.enqueued).count();
+    response.total_ms =
+        std::chrono::duration<double, std::milli>(done - request.enqueued).count();
+    request.promise.set_value(std::move(response));
+  }
+}
+
+util::LoadStatus Engine::reload(const std::string& id, const std::string& path) {
+  ModelEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = registry_.find(id);
+    if (it != registry_.end()) entry = it->second.get();
+  }
+  const auto fail = [&](util::LoadStatus status) {
+    NSHD_LOG_WARN("serve: reload of '%s' from %s failed: %s — old weights keep serving",
+                  id.c_str(), path.c_str(), util::to_string(status));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.reloads_failed;
+    return status;
+  };
+  if (entry == nullptr) return fail(util::LoadStatus::kNotFound);
+
+  // Read and fully verify the artifact *before* touching the live model;
+  // every corruption mode comes back as a named status and the request
+  // path never observes a half-applied swap.
+  util::CheckpointLoad load = util::read_checkpoint_file(path);
+  if (!load.ok()) return fail(load.status);
+  if (!load.checkpoint.key.empty() && load.checkpoint.key != id)
+    return fail(util::LoadStatus::kShapeMismatch);
+  if (load.checkpoint.tensors.size() != 1)
+    return fail(util::LoadStatus::kShapeMismatch);
+
+  {
+    // Writer side: waits for in-flight batches to drain, blocks new ones
+    // for the duration of the (cheap, in-memory) state copy.
+    std::unique_lock<std::shared_mutex> guard(entry->reload_mutex);
+    if (!entry->bundle->nshd.load_state(load.checkpoint.tensors[0].values))
+      return fail(util::LoadStatus::kShapeMismatch);
+    // Re-warm the norm cache serially while we still hold the writer lock.
+    (void)entry->bundle->nshd.classifier().class_norms();
+  }
+  NSHD_LOG_INFO("serve: reloaded '%s' from %s", id.c_str(), path.c_str());
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.reloads_ok;
+  return util::LoadStatus::kOk;
+}
+
+void Engine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace nshd::serve

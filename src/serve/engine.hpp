@@ -1,0 +1,193 @@
+// In-process inference serving engine: dynamic batching with SLOs.
+//
+// The repo's compute stack answers "how fast is one batch"; serve::Engine
+// answers "how much request traffic can this machine sustain".  Requests
+// (single images) enter per-model bounded queues; a pool of worker threads
+// forms dynamic batches — flushing on max-batch-size or on the oldest
+// request's deadline, whichever comes first — and drives the whole NSHD
+// pipeline batched: nn::InferencePlan::run_batch for the cut CNN, then
+// manifold + random-projection encoding, then one HdClassifier
+// similarities_all pass for the batch.  Batched responses are bitwise
+// identical to single-request responses (every kernel in the pipeline
+// computes row i independently of the batch size).
+//
+// Degradation is typed, never silent and never blocking:
+//   queue full        -> SubmitStatus::kQueueFull (caller sheds load)
+//   bad input shape   -> SubmitStatus::kBadShape
+//   unknown model     -> SubmitStatus::kUnknownModel
+//   after shutdown    -> SubmitStatus::kShutdown
+//   corrupt reload    -> util::LoadStatus names the failure; the old
+//                        weights keep serving (reload is all-or-nothing)
+//
+// Live reload rides on the NSHDKPT1 recovery machinery: reload() verifies
+// the checkpoint fully (CRC, shape, commit marker) before taking the
+// model's writer lock, so in-flight batches drain on the old weights and
+// traffic resumes on the new ones with no dropped requests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/nshd.hpp"
+#include "models/zoo.hpp"
+#include "nn/plan.hpp"
+#include "util/checkpoint.hpp"
+
+namespace nshd::serve {
+
+/// Typed outcome of submit(); everything except kOk means the request was
+/// rejected immediately (the future is untouched).
+enum class SubmitStatus {
+  kOk,
+  kUnknownModel,  // no model registered under that id
+  kBadShape,      // image does not match the model's input C,H,W
+  kQueueFull,     // bounded queue at capacity; shed load upstream
+  kShutdown,      // engine is draining or stopped
+};
+const char* to_string(SubmitStatus status);
+
+/// What caused the batch that carried a response to flush.
+enum class FlushReason {
+  kMaxBatch,  // the batch filled to max_batch
+  kDeadline,  // the oldest request's batching deadline expired
+  kDrain,     // shutdown flushed the queue without waiting
+};
+const char* to_string(FlushReason reason);
+
+struct Response {
+  std::int64_t predicted = -1;
+  std::vector<float> scores;  // per-class similarity (the argmax's input)
+  FlushReason flush = FlushReason::kMaxBatch;
+  std::int64_t batch_size = 0;  // size of the batch this request rode in
+  double queue_ms = 0.0;        // enqueue -> batch formed
+  double total_ms = 0.0;        // enqueue -> response ready
+};
+
+struct EngineConfig {
+  int workers = 2;                 // serving worker threads
+  std::int64_t max_batch = 32;     // flush when a batch reaches this size
+  double batch_deadline_ms = 2.0;  // ... or when the oldest request is this old
+  std::size_t queue_capacity = 256;  // per-model bound; beyond it, kQueueFull
+};
+
+/// Monotonic counters, snapshot via Engine::stats().
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_shape = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_unknown = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_flushes = 0;
+  std::uint64_t deadline_flushes = 0;
+  std::uint64_t drain_flushes = 0;
+  std::uint64_t reloads_ok = 0;
+  std::uint64_t reloads_failed = 0;
+};
+
+/// One servable NSHD deployment: the owned extractor backbone, the NSHD
+/// head over a cut, and a warm execution plan sized for the engine's batch.
+/// Heap-allocate and never move (nshd and plan point into zoo).
+struct ModelBundle {
+  models::ZooModel zoo;
+  std::size_t cut;
+  core::NshdModel nshd;
+  nn::InferencePlan plan;
+
+  ModelBundle(models::ZooModel zoo_model, std::size_t cut_layer,
+              const core::NshdConfig& config, std::int64_t max_batch);
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+};
+
+/// Persists a bundle's trained state (manifold FC + class bank) as an
+/// NSHDKPT1 checkpoint that Engine::reload can swap in live.  Returns false
+/// on IO failure.  `key` is stored as the checkpoint identity and verified
+/// on reload.
+bool save_bundle_checkpoint(const core::NshdModel& model, const std::string& key,
+                            const std::string& path);
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+  ~Engine();  // shutdown() if still running
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a bundle under `id` and warms its caches (classifier norm
+  /// cache; the plan's workspaces fill on first traffic).  Replaces any
+  /// existing registration only if `id` is new — re-registering an id
+  /// throws (use reload() to swap weights).
+  void register_model(const std::string& id, std::unique_ptr<ModelBundle> bundle);
+
+  /// Enqueues one image ([C,H,W] or [1,C,H,W]) for classification by
+  /// `id`.  On kOk, `*response` receives a future that resolves when the
+  /// request's batch completes.  Never blocks: a full queue is a typed
+  /// rejection, not backpressure-by-stall.
+  SubmitStatus submit(const std::string& id, tensor::Tensor image,
+                      std::future<Response>* response);
+
+  /// Atomically swaps `id`'s trained state from an NSHDKPT1 checkpoint.
+  /// The file is read and fully verified first; only then is the model's
+  /// writer lock taken (in-flight batches drain, new batches wait) and the
+  /// state applied.  Any failure leaves the old weights serving and is
+  /// returned as a named status (kShapeMismatch covers a checkpoint whose
+  /// blob does not match this bundle's architecture or key).
+  util::LoadStatus reload(const std::string& id, const std::string& path);
+
+  /// Stops accepting, drains every queued request (they complete with
+  /// FlushReason::kDrain), and joins the workers.  Idempotent.
+  void shutdown();
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return config_; }
+
+  /// Registered bundle (for tests and benches); nullptr when absent.
+  const ModelBundle* bundle(const std::string& id) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    tensor::Tensor image;  // [C,H,W] floats, owned
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+  };
+
+  struct ModelEntry {
+    std::unique_ptr<ModelBundle> bundle;
+    std::deque<Request> queue;       // guarded by Engine::mutex_
+    std::shared_mutex reload_mutex;  // shared: batch execution; exclusive: reload
+  };
+
+  void worker_loop();
+  void execute_batch(ModelEntry& entry, std::vector<Request> batch,
+                     FlushReason reason);
+
+  EngineConfig config_;
+  std::chrono::microseconds deadline_;
+
+  mutable std::mutex mutex_;  // guards registry_ keys, queues, draining_
+  std::condition_variable work_cv_;
+  std::map<std::string, std::unique_ptr<ModelEntry>> registry_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+};
+
+}  // namespace nshd::serve

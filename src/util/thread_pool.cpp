@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
+
+#include "util/log.hpp"
 
 namespace nshd::util {
 
@@ -14,15 +17,40 @@ namespace {
 thread_local bool t_in_worker = false;
 
 int env_thread_count() {
-  if (const char* env = std::getenv("NSHD_THREADS"); env != nullptr && *env != '\0') {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<int>(std::min(parsed, 256L));
+  const int hw_raw = static_cast<int>(std::thread::hardware_concurrency());
+  const int hw = hw_raw == 0 ? 1 : hw_raw;
+  if (const char* env = std::getenv("NSHD_THREADS"); env != nullptr) {
+    return parse_thread_count(env, hw);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hw;
 }
 
 }  // namespace
+
+int parse_thread_count(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* endptr = nullptr;
+  const long parsed = std::strtol(text, &endptr, 10);
+  // Skip trailing whitespace only; any other leftover byte means the value
+  // was not a plain integer ("8x", "fast", "3.5") and must not half-parse.
+  while (endptr != nullptr && std::isspace(static_cast<unsigned char>(*endptr))) ++endptr;
+  if (endptr == text || endptr == nullptr || *endptr != '\0') {
+    NSHD_LOG_WARN("NSHD_THREADS=\"%s\" is not an integer; using %d threads", text,
+                  fallback);
+    return fallback;
+  }
+  if (parsed < 1) {
+    NSHD_LOG_WARN("NSHD_THREADS=%ld is out of range (must be >= 1); using %d threads",
+                  parsed, fallback);
+    return fallback;
+  }
+  if (parsed > kMaxThreads) {
+    NSHD_LOG_WARN("NSHD_THREADS=%ld exceeds the cap of %d; clamping", parsed,
+                  kMaxThreads);
+    return kMaxThreads;
+  }
+  return static_cast<int>(parsed);
+}
 
 // One parallel_for invocation.  Heap-allocated and shared so a worker that
 // wakes late can only ever touch the job it snapshotted under the mutex;
@@ -131,7 +159,22 @@ void ThreadPool::parallel_for_chunks(
     return;
   }
 
-  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  // Contended path: another external caller already owns the pool.  Rather
+  // than head-of-line blocking behind that unrelated job (which stalls e.g.
+  // a serving worker whose batch has its own deadline), run this loop inline
+  // on the calling thread — the exact degradation the nested-call path above
+  // already uses.  Chunk boundaries are unchanged, so results stay bitwise
+  // identical; only the executing thread differs.
+  std::unique_lock<std::mutex> caller_lock(caller_mutex_, std::try_to_lock);
+  if (!caller_lock.owns_lock()) {
+    t_in_worker = true;
+    for (std::int64_t i = 0; i < chunks; ++i) {
+      const std::int64_t b = begin + i * grain;
+      fn(i, b, std::min(b + grain, end));
+    }
+    t_in_worker = false;
+    return;
+  }
   auto job = std::make_shared<Job>(fn, begin, end, grain, chunks);
   {
     std::lock_guard<std::mutex> lock(mutex_);

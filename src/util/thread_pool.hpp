@@ -24,6 +24,15 @@
 
 namespace nshd::util {
 
+/// Upper bound on the pool size accepted from NSHD_THREADS.
+inline constexpr int kMaxThreads = 256;
+
+/// Parses an NSHD_THREADS-style value.  Returns `fallback` (with a warning
+/// through util::log) when `text` is not a plain integer or is < 1, and
+/// clamps values above kMaxThreads.  Trailing garbage ("8x") is rejected
+/// outright instead of half-parsing.  Exposed for unit tests.
+int parse_thread_count(const char* text, int fallback);
+
 /// Number of fixed chunks parallel_for splits [begin, end) into; depends
 /// only on the range and grain, never on the thread count.
 inline std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
@@ -47,7 +56,10 @@ class ThreadPool {
   /// Chunks are claimed dynamically but their boundaries are fixed, so a
   /// kernel whose chunks write disjoint outputs — or that combines
   /// per-chunk partials in chunk-index order — is deterministic.
-  /// Nested calls from inside a worker run inline on that worker.
+  /// Nested calls from inside a worker run inline on that worker, and a
+  /// call that finds the pool already claimed by another external caller
+  /// runs inline on its own thread instead of queueing behind that job —
+  /// concurrent callers always make progress.
   void parallel_for_chunks(
       std::int64_t begin, std::int64_t end, std::int64_t grain,
       const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
@@ -81,7 +93,9 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;
   std::shared_ptr<Job> job_;  // current job; workers snapshot under mutex_
 
-  std::mutex caller_mutex_;  // serializes concurrent external parallel_for
+  // Claimed (try_lock) by the one external caller currently driving the
+  // workers; a contended caller falls back to the inline path.
+  std::mutex caller_mutex_;
 };
 
 /// Pool size of the global pool (1 means fully serial).

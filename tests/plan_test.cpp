@@ -334,5 +334,37 @@ TEST(PlanReporting, WorkspaceBudgetIsReported) {
   EXPECT_LE(plan.peak_workspace_bytes(), plan.planned_workspace_bytes());
 }
 
+TEST(PlanReporting, OversizedBatchLeaseIsReleasedNotPooled) {
+  models::ZooModel m = models::make_model("mobilenetv2s", 4, 3);
+  nn::InferencePlan plan(m.net, m.input_chw, 4, /*max_batch=*/4);
+  const data::Dataset ds = small_dataset(4, 8);  // 32 samples
+  const TensorView images = ds.images.view();
+  const std::int64_t s = ds.sample_shape().numel();
+
+  // Steady state: a batch within max_batch pools exactly one workspace and
+  // stays inside the shape-inferred budget.
+  Tensor out4(plan.output_shape(4));
+  const TensorView in4(images.data(), Shape{4, 3, 32, 32});
+  plan.run_batch(in4, out4.view());
+  EXPECT_EQ(plan.workspace_count(), 1u);
+  EXPECT_LE(plan.peak_workspace_bytes(), plan.planned_workspace_bytes());
+
+  // One oversized burst (n = 32 > max_batch = 4) needs far more arena than
+  // planned; it must run on a throwaway workspace, never inflating the pool.
+  Tensor out(plan.output_shape(ds.size()));
+  plan.run_batch(images, out.view());
+  EXPECT_EQ(plan.workspace_count(), 1u);
+  // Peak tracking still records the burst's true high water.
+  const std::size_t burst_peak = plan.peak_workspace_bytes();
+  EXPECT_GT(burst_peak, plan.planned_workspace_bytes());
+
+  // Back to steady traffic: the planned-size workspace is re-used and the
+  // burst peak remains visible.
+  const TensorView in4b(images.data() + 4 * s, Shape{4, 3, 32, 32});
+  plan.run_batch(in4b, out4.view());
+  EXPECT_EQ(plan.workspace_count(), 1u);
+  EXPECT_EQ(plan.peak_workspace_bytes(), burst_peak);
+}
+
 }  // namespace
 }  // namespace nshd

@@ -1,0 +1,467 @@
+// Tests for the serving engine: dynamic batch formation (deadline vs
+// max-batch flush), typed rejection (queue-full / bad-shape / unknown /
+// shutdown), shutdown drain semantics, checkpoint live-reload mid-traffic
+// (including the fault-injected corruption matrix), and bitwise parity of
+// batched responses against the single-request pipeline.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/feature_extractor.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/zoo.hpp"
+#include "serve/engine.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace nshd {
+namespace {
+
+using serve::Engine;
+using serve::EngineConfig;
+using serve::FlushReason;
+using serve::ModelBundle;
+using serve::Response;
+using serve::SubmitStatus;
+
+constexpr std::int64_t kClasses = 4;
+constexpr std::size_t kCut = 4;
+
+data::Dataset tiny_dataset(std::int64_t per_class = 8, std::uint64_t seed = 42) {
+  data::SynthCifarConfig config;
+  config.num_classes = kClasses;
+  config.samples_per_class = per_class;
+  config.seed = seed;
+  return data::make_synth_cifar(config);
+}
+
+core::NshdConfig tiny_nshd_config() {
+  core::NshdConfig config;
+  config.dim = 512;
+  config.manifold_features = 32;
+  config.epochs = 2;
+  config.use_kd = false;
+  config.train_manifold = false;
+  return config;
+}
+
+/// A small trained bundle: mobilenetv2s cut 4, MASS-trained (no KD) on a
+/// tiny synthetic set so class scores are non-degenerate.
+std::unique_ptr<ModelBundle> make_trained_bundle(std::int64_t max_batch,
+                                                 std::uint64_t model_seed = 7) {
+  auto bundle = std::make_unique<ModelBundle>(
+      models::make_model("mobilenetv2s", kClasses, model_seed), kCut,
+      tiny_nshd_config(), max_batch);
+  const data::Dataset train = tiny_dataset();
+  const core::ExtractedFeatures features =
+      core::extract_features(bundle->plan, train, max_batch);
+  bundle->nshd.train(features, train.labels, /*teacher_logits=*/nullptr);
+  return bundle;
+}
+
+/// Expected response for one image, computed through the same batched
+/// kernels the engine uses, at batch size 1.
+std::vector<float> direct_scores(const ModelBundle& bundle,
+                                 const tensor::Tensor& image) {
+  nn::InferencePlan& plan = const_cast<ModelBundle&>(bundle).plan;
+  const tensor::Tensor flat = core::extract_one(plan, image);
+  const hd::Hypervector query = bundle.nshd.symbolize(flat.data());
+  const tensor::Tensor sims = bundle.nshd.classifier().similarities_all(
+      {query}, bundle.nshd.config().similarity);
+  return {sims.data(), sims.data() + sims.numel()};
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("nshd_serve_test_") + name + "_" +
+           std::to_string(::getpid()) + ".ckpt"))
+      .string();
+}
+
+TEST(ServeEngine, MaxBatchFlushBeatsDeadline) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 2000.0;  // never reached in this test
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::vector<std::future<Response>> futures(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  for (auto& future : futures) {
+    const Response response = future.get();
+    EXPECT_EQ(response.flush, FlushReason::kMaxBatch);
+    EXPECT_EQ(response.batch_size, 4);
+    // A full batch must not have waited for the 2 s deadline.
+    EXPECT_LT(response.total_ms, 1500.0);
+  }
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.max_batch_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+}
+
+TEST(ServeEngine, DeadlineFlushesPartialBatch) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 8;
+  config.batch_deadline_ms = 30.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::future<Response> f0, f1;
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &f0), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", ds.sample(1), &f1), SubmitStatus::kOk);
+  const Response r0 = f0.get();
+  const Response r1 = f1.get();
+  EXPECT_EQ(r0.flush, FlushReason::kDeadline);
+  EXPECT_EQ(r1.flush, FlushReason::kDeadline);
+  EXPECT_EQ(r0.batch_size, 2);
+  // The flush happened because the *deadline* expired, not instantly.
+  EXPECT_GE(r0.total_ms, 25.0);
+}
+
+TEST(ServeEngine, MaxBatchThenDeadlineOrdering) {
+  // 6 requests, max_batch 4: the first four flush as a full batch well
+  // before the deadline; the remaining two ride the deadline flush.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 150.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::vector<std::future<Response>> futures(6);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  std::vector<Response> responses;
+  responses.reserve(6);
+  for (auto& future : futures) responses.push_back(future.get());
+
+  int max_batch_count = 0, deadline_count = 0;
+  for (const Response& response : responses) {
+    if (response.flush == FlushReason::kMaxBatch) {
+      EXPECT_EQ(response.batch_size, 4);
+      ++max_batch_count;
+    } else {
+      EXPECT_EQ(response.flush, FlushReason::kDeadline);
+      EXPECT_EQ(response.batch_size, 2);
+      ++deadline_count;
+    }
+  }
+  EXPECT_EQ(max_batch_count, 4);
+  EXPECT_EQ(deadline_count, 2);
+  // FIFO: the full batch carries the first four submissions.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].flush, FlushReason::kMaxBatch);
+}
+
+TEST(ServeEngine, QueueFullIsTypedRejection) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 8;               // queue never fills a batch...
+  config.batch_deadline_ms = 500.0;   // ...and the deadline is far away
+  config.queue_capacity = 2;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::future<Response> f0, f1, f2;
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &f0), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", ds.sample(1), &f1), SubmitStatus::kOk);
+  EXPECT_EQ(engine.submit("m", ds.sample(2), &f2), SubmitStatus::kQueueFull);
+  EXPECT_EQ(engine.stats().rejected_full, 1u);
+
+  // The two accepted requests still complete (deadline flush).
+  EXPECT_EQ(f0.get().batch_size, 2);
+  EXPECT_EQ(f1.get().batch_size, 2);
+}
+
+TEST(ServeEngine, BadShapeAndUnknownModelRejections) {
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+
+  std::future<Response> future;
+  tensor::Tensor wrong(tensor::Shape{3, 16, 16});
+  EXPECT_EQ(engine.submit("m", wrong, &future), SubmitStatus::kBadShape);
+  tensor::Tensor right(tensor::Shape{3, 32, 32});
+  EXPECT_EQ(engine.submit("nope", right, &future), SubmitStatus::kUnknownModel);
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected_shape, 1u);
+  EXPECT_EQ(stats.rejected_unknown, 1u);
+}
+
+TEST(ServeEngine, ShutdownDrainsInFlightRequests) {
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 16;
+  config.batch_deadline_ms = 10000.0;  // only a drain can flush these
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::vector<std::future<Response>> futures(3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  engine.shutdown();
+  for (auto& future : futures) {
+    const Response response = future.get();  // must not hang or throw
+    EXPECT_EQ(response.flush, FlushReason::kDrain);
+    EXPECT_EQ(response.batch_size, 3);
+  }
+  EXPECT_EQ(engine.stats().completed, 3u);
+
+  // After shutdown, submissions are rejected with a named status.
+  std::future<Response> late;
+  EXPECT_EQ(engine.submit("m", ds.sample(0), &late), SubmitStatus::kShutdown);
+  EXPECT_EQ(engine.stats().rejected_shutdown, 1u);
+}
+
+TEST(ServeEngine, BatchedMatchesSingleBitwise) {
+  // The parity contract: a response computed in a batch of 16 is bitwise
+  // identical to the same request served alone.  Run the same 16 images
+  // through a batching engine and a single-request engine and compare
+  // scores exactly.
+  const data::Dataset ds = tiny_dataset(4, 9);  // 16 samples
+
+  EngineConfig batched_config;
+  batched_config.workers = 2;
+  batched_config.max_batch = 16;
+  batched_config.batch_deadline_ms = 200.0;
+  Engine batched(batched_config);
+  batched.register_model("m", make_trained_bundle(batched_config.max_batch));
+
+  EngineConfig single_config;
+  single_config.workers = 2;
+  single_config.max_batch = 1;  // every request is its own batch
+  single_config.batch_deadline_ms = 200.0;
+  Engine single(single_config);
+  single.register_model("m", make_trained_bundle(single_config.max_batch));
+
+  const ModelBundle* reference = batched.bundle("m");
+  ASSERT_NE(reference, nullptr);
+
+  std::vector<std::future<Response>> batched_futures(16), single_futures(16);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(batched.submit("m", ds.sample(i), &batched_futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+    ASSERT_EQ(single.submit("m", ds.sample(i), &single_futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const Response from_batch = batched_futures[static_cast<std::size_t>(i)].get();
+    const Response from_single = single_futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(from_batch.scores.size(), from_single.scores.size());
+    for (std::size_t c = 0; c < from_batch.scores.size(); ++c) {
+      // Bitwise, not approximate: the whole pipeline computes row i
+      // independently of batch size.
+      EXPECT_EQ(from_batch.scores[c], from_single.scores[c])
+          << "sample " << i << " class " << c;
+    }
+    EXPECT_EQ(from_batch.predicted, from_single.predicted);
+
+    // And both match the directly-computed single-sample pipeline.
+    const std::vector<float> expected = direct_scores(*reference, ds.sample(i));
+    ASSERT_EQ(from_batch.scores.size(), expected.size());
+    for (std::size_t c = 0; c < expected.size(); ++c)
+      EXPECT_EQ(from_batch.scores[c], expected[c]);
+  }
+  EXPECT_GE(batched.stats().batches, 1u);
+  EXPECT_EQ(single.stats().batches, 16u);
+}
+
+TEST(ServeEngine, ConcurrentTrafficManyThreadsIsSafe) {
+  // Hammer one engine from several submitter threads while workers batch
+  // concurrently — the TSan target runs this to certify the queue, the
+  // contended thread-pool path, and the shared plan lease pool together.
+  EngineConfig config;
+  config.workers = 3;
+  config.max_batch = 8;
+  config.batch_deadline_ms = 1.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(4, 9);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 24;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::future<Response> future;
+        const std::int64_t sample = (t * kPerThread + i) % ds.size();
+        if (engine.submit("m", ds.sample(sample), &future) == SubmitStatus::kOk) {
+          const Response response = future.get();
+          EXPECT_GE(response.predicted, 0);
+          EXPECT_LT(response.predicted, kClasses);
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(accepted.load(), kSubmitters * kPerThread);  // capacity 256 never fills
+  EXPECT_EQ(engine.stats().completed,
+            static_cast<std::uint64_t>(kSubmitters * kPerThread));
+}
+
+TEST(ServeEngine, LiveReloadSwapsWeightsMidTraffic) {
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 1.0;
+  Engine engine(config);
+
+  // Bundle A serves; bundle B (different training data) provides the
+  // checkpoint we hot-swap in.
+  engine.register_model("m", make_trained_bundle(config.max_batch, /*model_seed=*/7));
+  auto donor = make_trained_bundle(config.max_batch, /*model_seed=*/7);
+  {
+    // Make the donor genuinely different: retrain on a reshuffled set.
+    const data::Dataset alt = tiny_dataset(8, 77);
+    const core::ExtractedFeatures features =
+        core::extract_features(donor->plan, alt, config.max_batch);
+    donor->nshd.train(features, alt.labels, nullptr);
+  }
+  const std::string path = temp_path("reload");
+  ASSERT_TRUE(serve::save_bundle_checkpoint(donor->nshd, "m", path));
+
+  const data::Dataset ds = tiny_dataset(4, 9);
+  const tensor::Tensor probe = ds.sample(0);
+  const std::vector<float> before = direct_scores(*engine.bundle("m"), probe);
+  const std::vector<float> expected_after = direct_scores(*donor, probe);
+  ASSERT_NE(before, expected_after);
+
+  // Keep traffic flowing while the reload happens.
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    int i = 0;
+    while (!stop.load()) {
+      std::future<Response> future;
+      if (engine.submit("m", ds.sample(i++ % ds.size()), &future) == SubmitStatus::kOk)
+        (void)future.get();
+    }
+  });
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kOk);
+  stop.store(true);
+  traffic.join();
+
+  // Post-reload responses use the donor's weights.  The served scores must
+  // be bitwise identical to the direct pipeline on the *reloaded* model and
+  // match the donor's own scores to float accuracy (reload recomputes the
+  // cosine norm cache from the bank, while the donor maintained its norms
+  // incrementally during training — identical up to rounding).
+  std::future<Response> future;
+  ASSERT_EQ(engine.submit("m", probe, &future), SubmitStatus::kOk);
+  const Response response = future.get();
+  const std::vector<float> after = direct_scores(*engine.bundle("m"), probe);
+  ASSERT_EQ(response.scores.size(), after.size());
+  for (std::size_t c = 0; c < after.size(); ++c) {
+    EXPECT_EQ(response.scores[c], after[c]);
+    EXPECT_NEAR(response.scores[c], expected_after[c], 1e-4f);
+    EXPECT_NE(response.scores[c], before[c]);
+  }
+  EXPECT_EQ(engine.stats().reloads_ok, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeEngine, CorruptReloadIsRejectedAndOldWeightsServe) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 1.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  const tensor::Tensor probe = ds.sample(0);
+  const std::vector<float> before = direct_scores(*engine.bundle("m"), probe);
+
+  const std::string path = temp_path("corrupt");
+  util::fault::disarm_all();
+
+  // Bit rot: the reused checkpoint.bit_flip site corrupts the payload on
+  // write; reload must name the corruption and keep the old weights.
+  util::fault::arm("checkpoint.bit_flip");
+  ASSERT_TRUE(serve::save_bundle_checkpoint(engine.bundle("m")->nshd, "m", path));
+  util::fault::disarm_all();
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kBadChecksum);
+
+  // Torn write: commit marker missing.
+  util::fault::arm("checkpoint.torn_write");
+  ASSERT_TRUE(serve::save_bundle_checkpoint(engine.bundle("m")->nshd, "m", path));
+  util::fault::disarm_all();
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kTruncated);
+
+  // Short read on an intact file.
+  ASSERT_TRUE(serve::save_bundle_checkpoint(engine.bundle("m")->nshd, "m", path));
+  util::fault::arm("checkpoint.short_read");
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kTruncated);
+  util::fault::disarm_all();
+
+  // Wrong identity: a checkpoint written for another model id.
+  ASSERT_TRUE(serve::save_bundle_checkpoint(engine.bundle("m")->nshd, "other", path));
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kShapeMismatch);
+
+  // Missing file and unknown model.
+  EXPECT_EQ(engine.reload("m", path + ".does-not-exist"), util::LoadStatus::kNotFound);
+  EXPECT_EQ(engine.reload("ghost", path), util::LoadStatus::kNotFound);
+
+  EXPECT_EQ(engine.stats().reloads_failed, 6u);
+  EXPECT_EQ(engine.stats().reloads_ok, 0u);
+
+  // Through all of it the old weights kept serving, bit-for-bit.
+  std::future<Response> future;
+  ASSERT_EQ(engine.submit("m", probe, &future), SubmitStatus::kOk);
+  const Response response = future.get();
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_EQ(response.scores[c], before[c]);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeEngine, MultiModelRoutingAndIsolation) {
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 1.0;
+  Engine engine(config);
+  engine.register_model("a", make_trained_bundle(config.max_batch, /*model_seed=*/7));
+  engine.register_model("b", make_trained_bundle(config.max_batch, /*model_seed=*/13));
+  EXPECT_THROW(engine.register_model("a", make_trained_bundle(1)), std::invalid_argument);
+
+  const data::Dataset ds = tiny_dataset(4, 9);
+  const std::vector<float> expect_a = direct_scores(*engine.bundle("a"), ds.sample(0));
+  const std::vector<float> expect_b = direct_scores(*engine.bundle("b"), ds.sample(0));
+
+  std::future<Response> fa, fb;
+  ASSERT_EQ(engine.submit("a", ds.sample(0), &fa), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("b", ds.sample(0), &fb), SubmitStatus::kOk);
+  const Response ra = fa.get();
+  const Response rb = fb.get();
+  for (std::size_t c = 0; c < expect_a.size(); ++c) {
+    EXPECT_EQ(ra.scores[c], expect_a[c]);
+    EXPECT_EQ(rb.scores[c], expect_b[c]);
+  }
+}
+
+}  // namespace
+}  // namespace nshd

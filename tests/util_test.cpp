@@ -345,6 +345,92 @@ TEST(ThreadPool, NestedCallsRunInline) {
   EXPECT_EQ(total.load(), 80);
 }
 
+TEST(ThreadPool, ContendedCallersBothMakeProgress) {
+  // Regression: a second external caller used to block on caller_mutex_
+  // behind an unrelated job.  Here caller A's chunks cannot finish until
+  // caller B's parallel_for completes — with head-of-line blocking this
+  // deadlocks; with the contended-inline fallback B completes on its own
+  // thread and unblocks A.
+  set_thread_count(4);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<int> a_total{0}, b_total{0};
+
+  std::thread a([&] {
+    parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+      a_started.store(true);
+      while (!b_done.load()) std::this_thread::yield();
+      a_total.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  std::thread b([&] {
+    while (!a_started.load()) std::this_thread::yield();
+    parallel_for(0, 100, 3, [&](std::int64_t nb, std::int64_t ne) {
+      b_total.fetch_add(static_cast<int>(ne - nb));
+    });
+    b_done.store(true);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(a_total.load(), 8);
+  EXPECT_EQ(b_total.load(), 100);
+}
+
+TEST(ThreadPool, ContendedCallerKeepsChunkBoundaries) {
+  // The inline fallback must preserve the fixed chunk partitioning, so a
+  // contended caller's reduction stays bitwise identical.
+  set_thread_count(4);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> b_done{false};
+  std::vector<std::array<std::int64_t, 3>> seen(
+      static_cast<std::size_t>(chunk_count(0, 103, 9)));
+
+  std::thread a([&] {
+    parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+      a_started.store(true);
+      while (!b_done.load()) std::this_thread::yield();
+    });
+  });
+  std::thread b([&] {
+    while (!a_started.load()) std::this_thread::yield();
+    parallel_for_chunks(0, 103, 9,
+                        [&](std::int64_t c, std::int64_t cb, std::int64_t ce) {
+                          seen[static_cast<std::size_t>(c)] = {c, cb, ce};
+                        });
+    b_done.store(true);
+  });
+  a.join();
+  b.join();
+  for (std::size_t c = 0; c < seen.size(); ++c) {
+    const std::int64_t b0 = static_cast<std::int64_t>(c) * 9;
+    EXPECT_EQ(seen[c][0], static_cast<std::int64_t>(c));
+    EXPECT_EQ(seen[c][1], b0);
+    EXPECT_EQ(seen[c][2], std::min<std::int64_t>(b0 + 9, 103));
+  }
+}
+
+TEST(ThreadPool, ParseThreadCountAcceptsPlainIntegers) {
+  EXPECT_EQ(parse_thread_count("1", 8), 1);
+  EXPECT_EQ(parse_thread_count("16", 8), 16);
+  EXPECT_EQ(parse_thread_count("  12  ", 8), 12);  // strtol skips leading ws
+  EXPECT_EQ(parse_thread_count("256", 8), 256);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsGarbage) {
+  // Trailing garbage must not half-parse ("8x" used to read as 8).
+  EXPECT_EQ(parse_thread_count("8x", 3), 3);
+  EXPECT_EQ(parse_thread_count("fast", 3), 3);
+  EXPECT_EQ(parse_thread_count("3.5", 3), 3);
+  EXPECT_EQ(parse_thread_count("", 3), 3);
+  EXPECT_EQ(parse_thread_count(nullptr, 3), 3);
+}
+
+TEST(ThreadPool, ParseThreadCountRangeChecks) {
+  EXPECT_EQ(parse_thread_count("0", 5), 5);
+  EXPECT_EQ(parse_thread_count("-4", 5), 5);
+  EXPECT_EQ(parse_thread_count("1000000", 5), kMaxThreads);
+}
+
 TEST(ThreadPool, EmptyAndSingleChunkRanges) {
   set_thread_count(4);
   int calls = 0;
