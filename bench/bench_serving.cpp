@@ -80,10 +80,15 @@ struct ModeResult {
   std::string mode;
   std::int64_t max_batch = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t rejected = 0;           // queue-full sheds
+  std::uint64_t rejected_overload = 0;  // admission-control sheds
+  std::uint64_t timed_out = 0;
+  std::uint64_t internal_errors = 0;
+  std::uint64_t degraded = 0;
   double seconds = 0.0;
   double qps = 0.0;
   double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
   double mean_batch = 0.0;
@@ -136,6 +141,10 @@ ModeResult drive(serve::Engine& engine, const std::string& model_id,
   result.max_batch = engine.config().max_batch;
   result.completed = after.completed - before.completed;
   result.rejected = (after.rejected_full - before.rejected_full);
+  result.rejected_overload = after.rejected_overload - before.rejected_overload;
+  result.timed_out = after.timed_out - before.timed_out;
+  result.internal_errors = after.internal_errors - before.internal_errors;
+  result.degraded = after.degraded - before.degraded;
   result.seconds = elapsed;
   result.qps = static_cast<double>(result.completed) / elapsed;
   const std::uint64_t batches = after.batches - before.batches;
@@ -144,6 +153,7 @@ ModeResult drive(serve::Engine& engine, const std::string& model_id,
                                          static_cast<double>(batches);
   std::sort(latencies.begin(), latencies.end());
   result.p50_ms = percentile(latencies, 0.50);
+  result.p95_ms = percentile(latencies, 0.95);
   result.p99_ms = percentile(latencies, 0.99);
   result.p999_ms = percentile(latencies, 0.999);
   return result;
@@ -202,6 +212,7 @@ ModeResult drive_naive(serve::ModelBundle& bundle, const data::Dataset& requests
   result.mean_batch = 1.0;
   std::sort(latencies.begin(), latencies.end());
   result.p50_ms = percentile(latencies, 0.50);
+  result.p95_ms = percentile(latencies, 0.95);
   result.p99_ms = percentile(latencies, 0.99);
   result.p999_ms = percentile(latencies, 0.999);
   return result;
@@ -235,7 +246,8 @@ int main(int argc, char** argv) {
   if (args.has("all")) names = models::zoo_model_names();
 
   util::Table table({"model", "cut", "mode", "max_batch", "qps", "p50 ms",
-                     "p99 ms", "p99.9 ms", "mean batch", "speedup"});
+                     "p95 ms", "p99 ms", "p99.9 ms", "mean batch", "shed",
+                     "speedup"});
   std::vector<Record> records;
 
   for (const std::string& name : names) {
@@ -288,8 +300,11 @@ int main(int argc, char** argv) {
       table.add_row({name, util::cell(static_cast<int>(cut)), mode->mode,
                      util::cell(static_cast<int>(mode->max_batch)),
                      util::cell(mode->qps, 1), util::cell(mode->p50_ms, 2),
-                     util::cell(mode->p99_ms, 2), util::cell(mode->p999_ms, 2),
+                     util::cell(mode->p95_ms, 2), util::cell(mode->p99_ms, 2),
+                     util::cell(mode->p999_ms, 2),
                      util::cell(mode->mean_batch, 1),
+                     util::cell(static_cast<int>(mode->rejected +
+                                                 mode->rejected_overload)),
                      mode == &record.batched ? util::cell(speedup, 2) + "x" : ""});
     }
   }
@@ -313,13 +328,21 @@ int main(int argc, char** argv) {
       for (const ModeResult* m : {&r.single, &r.warm_single, &r.batched}) {
         std::fprintf(out,
                      "      {\"mode\": \"%s\", \"max_batch\": %lld, "
-                     "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-                     "\"p999_ms\": %.3f, \"mean_batch\": %.2f, "
-                     "\"completed\": %llu, \"rejected\": %llu}%s\n",
+                     "\"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                     "\"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                     "\"mean_batch\": %.2f, \"completed\": %llu, "
+                     "\"rejected\": %llu, \"rejected_overload\": %llu, "
+                     "\"timed_out\": %llu, \"internal_errors\": %llu, "
+                     "\"degraded\": %llu}%s\n",
                      m->mode.c_str(), static_cast<long long>(m->max_batch),
-                     m->qps, m->p50_ms, m->p99_ms, m->p999_ms, m->mean_batch,
+                     m->qps, m->p50_ms, m->p95_ms, m->p99_ms, m->p999_ms,
+                     m->mean_batch,
                      static_cast<unsigned long long>(m->completed),
                      static_cast<unsigned long long>(m->rejected),
+                     static_cast<unsigned long long>(m->rejected_overload),
+                     static_cast<unsigned long long>(m->timed_out),
+                     static_cast<unsigned long long>(m->internal_errors),
+                     static_cast<unsigned long long>(m->degraded),
                      m == &r.batched ? "" : ",");
       }
       std::fprintf(out, "    ], \"speedup_qps\": %.3f}%s\n",

@@ -162,6 +162,46 @@ std::vector<hd::Hypervector> NshdModel::symbolize_all(
   return out;
 }
 
+std::vector<hd::Hypervector> NshdModel::symbolize_all_checked(
+    const ExtractedFeatures& features, std::vector<RowHealth>& health) const {
+  const std::int64_t n = features.values.shape()[0];
+  const std::int64_t f = features.values.shape()[1];
+  std::vector<hd::Hypervector> out(static_cast<std::size_t>(n));
+  health.assign(static_cast<std::size_t>(n), RowHealth::kClean);
+  // Same sample-parallel schedule as symbolize_all; rows write disjoint
+  // slots of `out` and `health`, so results stay thread-count invariant.
+  util::parallel_for(0, n, /*grain=*/1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const float* row = features.values.data() + i * f;
+      auto& row_health = health[static_cast<std::size_t>(i)];
+      if (!tensor::all_finite(row, f)) row_health = RowHealth::kBadFeatures;
+      if (manifold_) {
+        const tensor::Tensor psi = manifold_->forward(row);
+        if (row_health == RowHealth::kClean &&
+            !tensor::all_finite(psi.data(), psi.numel())) {
+          row_health = RowHealth::kBadEncoding;
+        }
+        out[static_cast<std::size_t>(i)] = projection_.encode(psi.data());
+      } else {
+        out[static_cast<std::size_t>(i)] = projection_.encode(row);
+      }
+    }
+  });
+  return out;
+}
+
+bool NshdModel::state_finite() const {
+  if (manifold_) {
+    if (!tensor::all_finite(manifold_->weight().data(),
+                            manifold_->weight().numel()) ||
+        !tensor::all_finite(manifold_->bias().data(),
+                            manifold_->bias().numel())) {
+      return false;
+    }
+  }
+  return classifier_.bank_finite();
+}
+
 std::int64_t NshdModel::predict(const float* features) const {
   return classifier_.predict(symbolize(features), config_.similarity);
 }

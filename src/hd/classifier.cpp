@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/simd.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -324,6 +325,10 @@ tensor::Tensor HdClassifier::query_gradient(const std::vector<float>& update) co
     for (std::int64_t d = 0; d < dim_; ++d) g[d] += scale * row[d];
   }
   return g;
+}
+
+bool HdClassifier::bank_finite() const {
+  return tensor::all_finite(bank_.data(), bank_.numel());
 }
 
 std::vector<Hypervector> HdClassifier::quantized_classes() const {

@@ -116,6 +116,13 @@ class HdClassifier {
   /// the manifold-learner backprop (Sec. V-C).
   tensor::Tensor query_gradient(const std::vector<float>& update) const;
 
+  /// Numeric health of the class bank: true when every class-hypervector
+  /// component is finite.  A NaN/Inf bank serves garbage similarities (or
+  /// silently absorbs into the argmax), so the serving engine gates
+  /// register/reload on this and the numeric-health scan treats a non-finite
+  /// similarity row as a bank fault.
+  bool bank_finite() const;
+
   float* class_vector(std::int64_t c) { return bank_.data() + c * dim_; }
   const float* class_vector(std::int64_t c) const { return bank_.data() + c * dim_; }
   const tensor::Tensor& bank() const { return bank_; }

@@ -93,7 +93,16 @@ void InferencePlan::run_batch(const TensorView& in, TensorView out) {
 
   std::unique_ptr<Workspace> ws = acquire_workspace();
   ws->reset();
-  net_->forward_into_to(in, out, *ws, last_layer_);
+  try {
+    net_->forward_into_to(in, out, *ws, last_layer_);
+  } catch (...) {
+    // A throwing layer (fault injection, bad_alloc) must not corrupt the
+    // pool: the lease goes back — reset() on reacquire wipes it — so the
+    // workspace count and peak accounting survive and the plan keeps
+    // serving retries.  The exception still propagates to the caller.
+    release_workspace(std::move(ws));
+    throw;
+  }
   release_workspace(std::move(ws));
 }
 

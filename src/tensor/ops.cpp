@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "tensor/gemm.hpp"
 
@@ -95,6 +97,20 @@ double l2_norm(const Tensor& a) {
   double total = 0.0;
   for (float x : a.span()) total += static_cast<double>(x) * x;
   return std::sqrt(total);
+}
+
+bool all_finite(const float* p, std::int64_t n) {
+  // Branch-free accumulation: OR the exponent bits together and test once.
+  // A float is non-finite iff its exponent field is all ones, so the scan
+  // stays a straight-line loop the compiler can vectorize.
+  std::uint32_t seen = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p + i, sizeof(bits));
+    const std::uint32_t exponent = bits & 0x7f800000u;
+    seen |= static_cast<std::uint32_t>(exponent == 0x7f800000u);
+  }
+  return seen == 0;
 }
 
 Tensor softmax(const Tensor& logits) { return softmax(logits, 1.0f); }

@@ -33,6 +33,11 @@ std::int64_t argmax_row(const Tensor& a, std::int64_t row);
 /// L2 norm.
 double l2_norm(const Tensor& a);
 
+/// True when every one of the `n` floats at `p` is finite (no NaN/Inf).
+/// The numeric-health primitive behind the serving engine's post-inference
+/// scan and the reload verification gate.
+bool all_finite(const float* p, std::int64_t n);
+
 /// Numerically stable softmax over the last axis of a 1-D or 2-D tensor.
 Tensor softmax(const Tensor& logits);
 /// Softmax with temperature: softmax(logits / t).

@@ -69,6 +69,7 @@ const char* to_string(LoadStatus status) {
     case LoadStatus::kBadChecksum: return "bad_checksum";
     case LoadStatus::kVersionMismatch: return "version_mismatch";
     case LoadStatus::kShapeMismatch: return "shape_mismatch";
+    case LoadStatus::kNonFinite: return "non_finite";
   }
   return "unknown";
 }

@@ -37,6 +37,7 @@ enum class LoadStatus {
   kBadChecksum,      // bit rot: a CRC32 does not match
   kVersionMismatch,  // artifact from a different format version
   kShapeMismatch,    // tensor count or dims differ from the destination
+  kNonFinite,        // payload carries NaN/Inf where finite values are required
 };
 
 const char* to_string(LoadStatus status);

@@ -101,4 +101,15 @@ std::uint64_t hits(const std::string& site) {
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      "checkpoint.bit_flip",    "checkpoint.short_read",
+      "checkpoint.torn_write",  "pretrain.kill",
+      "serve.batch_stall",      "serve.nan_logits",
+      "serve.reload_corrupt",   "serve.worker_throw",
+      "trainer.nan_loss",
+  };
+  return sites;
+}
+
 }  // namespace nshd::util::fault

@@ -20,10 +20,20 @@
 //   checkpoint.short_read   read_checkpoint_file drops the file's tail
 //   trainer.nan_loss        train_classifier sees a NaN batch loss
 //   pretrain.kill           pretrained_model dies after an epoch checkpoint
+//   serve.worker_throw      serve::Engine batch execution throws mid-batch
+//   serve.batch_stall       serve::Engine batch execution stalls (slow batch)
+//   serve.nan_logits        serve::Engine similarity output row turns NaN
+//   serve.reload_corrupt    serve::Engine reload state blob corrupts in memory
+//
+// Every site name must be listed in known_sites(); the chaos-labeled
+// registry test (tests/fault_registry_test.cpp) asserts that the list and
+// the should_fire() probes in src/ stay in sync and that each site is
+// exercised by at least one fault/chaos-labeled test.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace nshd::util::fault {
 
@@ -42,5 +52,10 @@ void disarm_all();
 
 /// Hits recorded against `site` since it was (re-)armed; 0 when unarmed.
 std::uint64_t hits(const std::string& site);
+
+/// Canonical sorted list of every fault site declared in the codebase.
+/// Adding a should_fire() probe without registering its name here fails the
+/// chaos-labeled registry test.
+const std::vector<std::string>& known_sites();
 
 }  // namespace nshd::util::fault

@@ -1,0 +1,130 @@
+// Meta-test keeping the fault-injection machinery honest:
+//
+//   1. every site name probed via should_fire("...") anywhere in src/ is
+//      declared in util::fault::known_sites() (no unregistered probes),
+//   2. every declared site is exercised — its literal appears in the source
+//      of at least one test that carries the "fault" or "chaos" ctest label
+//      (declared sites that nothing injects are dead chaos coverage),
+//   3. known_sites() is sorted and duplicate-free, so site listings in docs
+//      and error messages stay canonical.
+//
+// The test parses tests/CMakeLists.txt for the LABELS properties rather
+// than hard-coding the labeled test list, so adding a fault-labeled test
+// automatically extends the allowed coverage set.  Requires the
+// NSHD_SOURCE_DIR compile definition (set in tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace nshd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Every `should_fire("<site>")` literal found under `root`.
+std::set<std::string> probe_sites_under(const fs::path& root) {
+  std::set<std::string> sites;
+  const std::string needle = "should_fire(\"";
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    const std::string text = slurp(entry.path());
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      const std::size_t start = pos + needle.size();
+      const std::size_t end = text.find('"', start);
+      if (end != std::string::npos) sites.insert(text.substr(start, end - start));
+    }
+  }
+  return sites;
+}
+
+/// Test names carrying a "fault" or "chaos" LABELS property, parsed from
+/// tests/CMakeLists.txt `set_tests_properties(<names...> PROPERTIES LABELS
+/// "<labels>")` stanzas.
+std::vector<std::string> fault_labeled_tests(const std::string& cmake) {
+  std::vector<std::string> names;
+  const std::string needle = "set_tests_properties(";
+  for (std::size_t pos = cmake.find(needle); pos != std::string::npos;
+       pos = cmake.find(needle, pos + 1)) {
+    const std::size_t open = pos + needle.size();
+    const std::size_t close = cmake.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string stanza = cmake.substr(open, close - open);
+    const std::size_t props = stanza.find("PROPERTIES");
+    const std::size_t labels = stanza.find("LABELS");
+    if (props == std::string::npos || labels == std::string::npos) continue;
+    const std::size_t q0 = stanza.find('"', labels);
+    const std::size_t q1 = q0 == std::string::npos ? std::string::npos
+                                                   : stanza.find('"', q0 + 1);
+    if (q1 == std::string::npos) continue;
+    const std::string label_list = stanza.substr(q0 + 1, q1 - q0 - 1);
+    if (label_list.find("fault") == std::string::npos &&
+        label_list.find("chaos") == std::string::npos)
+      continue;
+    std::istringstream tokens(stanza.substr(0, props));
+    std::string name;
+    while (tokens >> name) names.push_back(name);
+  }
+  return names;
+}
+
+TEST(FaultRegistry, KnownSitesAreSortedAndUnique) {
+  const std::vector<std::string>& sites = util::fault::known_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+}
+
+TEST(FaultRegistry, EveryProbeInSrcIsDeclared) {
+  const fs::path src = fs::path(NSHD_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src));
+  const std::set<std::string> probed = probe_sites_under(src);
+  ASSERT_FALSE(probed.empty());
+  const std::vector<std::string>& declared = util::fault::known_sites();
+  for (const std::string& site : probed) {
+    EXPECT_NE(std::find(declared.begin(), declared.end(), site), declared.end())
+        << "should_fire(\"" << site
+        << "\") probe in src/ is missing from util::fault::known_sites()";
+  }
+}
+
+TEST(FaultRegistry, EveryDeclaredSiteIsExercisedByLabeledTest) {
+  const fs::path root(NSHD_SOURCE_DIR);
+  const std::vector<std::string> tests =
+      fault_labeled_tests(slurp(root / "tests" / "CMakeLists.txt"));
+  ASSERT_FALSE(tests.empty()) << "no fault/chaos-labeled tests declared";
+
+  std::string corpus;
+  for (const std::string& name : tests) {
+    const fs::path source = root / "tests" / (name + ".cpp");
+    ASSERT_TRUE(fs::exists(source))
+        << "labeled test " << name << " has no source at " << source;
+    corpus += slurp(source);
+  }
+  for (const std::string& site : util::fault::known_sites()) {
+    EXPECT_NE(corpus.find('"' + site + '"'), std::string::npos)
+        << "fault site " << site
+        << " is not exercised by any fault/chaos-labeled test";
+  }
+}
+
+}  // namespace
+}  // namespace nshd

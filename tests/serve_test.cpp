@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -436,6 +437,350 @@ TEST(ServeEngine, CorruptReloadIsRejectedAndOldWeightsServe) {
   for (std::size_t c = 0; c < before.size(); ++c)
     EXPECT_EQ(response.scores[c], before[c]);
   std::filesystem::remove(path);
+}
+
+/// A degradation head for NumericPolicy::kDegrade: manifold-free NSHD over
+/// the same zoo/cut, trained on the same tiny set.
+std::unique_ptr<core::NshdModel> make_fallback_for(ModelBundle& bundle) {
+  core::NshdConfig config = tiny_nshd_config();
+  config.use_manifold = false;
+  auto fallback = std::make_unique<core::NshdModel>(bundle.zoo, kCut, config);
+  const data::Dataset train = tiny_dataset();
+  const core::ExtractedFeatures features =
+      core::extract_features(bundle.plan, train, /*batch_size=*/4);
+  fallback->train(features, train.labels, /*teacher_logits=*/nullptr);
+  return fallback;
+}
+
+/// Expected kDegraded response: raw cut features through the fallback head.
+std::vector<float> direct_fallback_scores(const ModelBundle& bundle,
+                                          const tensor::Tensor& image) {
+  nn::InferencePlan& plan = const_cast<ModelBundle&>(bundle).plan;
+  const tensor::Tensor flat = core::extract_one(plan, image);
+  const hd::Hypervector query = bundle.fallback->symbolize(flat.data());
+  const tensor::Tensor sims = bundle.fallback->classifier().similarities_all(
+      {query}, bundle.fallback->config().similarity);
+  return {sims.data(), sims.data() + sims.numel()};
+}
+
+TEST(ServeEngine, RequestDeadlineExpiresQueuedRequestTyped) {
+  // Worker is busy with request X when Y arrives with a microscopic budget;
+  // by the time Y's batch forms its deadline has passed, so it completes
+  // kTimedOut instead of running dead work.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 1;  // X and Y can never share a batch
+  config.batch_deadline_ms = 0.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  std::future<Response> fx, fy;
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &fx), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", ds.sample(1), &fy, /*deadline_ms=*/0.001),
+            SubmitStatus::kOk);
+  const Response rx = fx.get();
+  const Response ry = fy.get();
+  EXPECT_EQ(rx.status, serve::RequestStatus::kOk);
+  EXPECT_EQ(ry.status, serve::RequestStatus::kTimedOut);
+  EXPECT_EQ(ry.predicted, -1);
+  EXPECT_TRUE(ry.scores.empty());
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.timed_out);
+}
+
+TEST(ServeEngine, AdmissionControlShedsPredictedDeadlineMiss) {
+  // Every batch stalls 25 ms; once the EWMA has learned that, a request
+  // with a 5 ms budget behind a deep backlog is shed at submit() — typed
+  // kOverloaded, not a slow kTimedOut after wasted compute.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 1;
+  config.batch_deadline_ms = 0.0;
+  config.queue_capacity = 64;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  util::fault::disarm_all();
+  util::fault::arm_every("serve.batch_stall");
+
+  // Teach the EWMA how slow batches are.
+  std::future<Response> warm;
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &warm), SubmitStatus::kOk);
+  EXPECT_EQ(warm.get().status, serve::RequestStatus::kOk);
+
+  // Deadline-free fillers build a backlog the worker drains at 25 ms each.
+  std::vector<std::future<Response>> fillers(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i % 4), &fillers[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  std::future<Response> doomed;
+  EXPECT_EQ(engine.submit("m", ds.sample(0), &doomed, /*deadline_ms=*/5.0),
+            SubmitStatus::kOverloaded);
+  EXPECT_EQ(engine.stats().rejected_overload, 1u);
+
+  // Shedding protected the fillers: every accepted request still completes.
+  for (auto& future : fillers)
+    EXPECT_EQ(future.get().status, serve::RequestStatus::kOk);
+  util::fault::disarm_all();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 9u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+TEST(ServeEngine, NonFiniteInputFeaturesAreQuarantinedTyped) {
+  // One NaN pixel survives the cut CNN (ReLU6 propagates NaN) and would be
+  // silently absorbed by the bipolar sign quantization; the numeric-health
+  // scan catches it at the encoder input and quarantines exactly that row,
+  // leaving co-batched requests bitwise intact.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 500.0;
+  config.numeric_policy = serve::NumericPolicy::kReject;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+
+  tensor::Tensor poison = ds.sample(1);
+  poison.data()[7] = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<std::future<Response>> futures(4);
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &futures[0]), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", poison, &futures[1]), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", ds.sample(2), &futures[2]), SubmitStatus::kOk);
+  ASSERT_EQ(engine.submit("m", ds.sample(3), &futures[3]), SubmitStatus::kOk);
+
+  const Response bad = futures[1].get();
+  EXPECT_EQ(bad.status, serve::RequestStatus::kInternalError);
+  EXPECT_EQ(bad.predicted, -1);
+  for (const int i : {0, 2, 3}) {
+    const Response good = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(good.status, serve::RequestStatus::kOk);
+    const std::vector<float> expected =
+        direct_scores(*engine.bundle("m"), ds.sample(i));
+    ASSERT_EQ(good.scores.size(), expected.size());
+    for (std::size_t c = 0; c < expected.size(); ++c)
+      EXPECT_EQ(good.scores[c], expected[c]);
+  }
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.numeric_faults, 1u);
+  EXPECT_EQ(stats.internal_errors, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(ServeEngine, DegradePolicyServesHdFallbackOnPrimaryFault) {
+  // serve.nan_logits poisons the primary similarity row of the first
+  // request; under kDegrade with an attached HD-only fallback head that
+  // request is served kDegraded — bitwise equal to the fallback pipeline —
+  // while clean rows stay on the primary, and a request whose *input*
+  // features are poisoned is still rejected (no honest answer exists).
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 500.0;
+  config.numeric_policy = serve::NumericPolicy::kDegrade;
+  Engine engine(config);
+  auto bundle = make_trained_bundle(config.max_batch);
+  bundle->fallback = make_fallback_for(*bundle);
+  engine.register_model("m", std::move(bundle));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  util::fault::disarm_all();
+  util::fault::arm("serve.nan_logits", 1);
+
+  std::vector<std::future<Response>> futures(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  const Response degraded = futures[0].get();
+  EXPECT_EQ(degraded.status, serve::RequestStatus::kDegraded);
+  const std::vector<float> expected_fallback =
+      direct_fallback_scores(*engine.bundle("m"), ds.sample(0));
+  ASSERT_EQ(degraded.scores.size(), expected_fallback.size());
+  for (std::size_t c = 0; c < expected_fallback.size(); ++c)
+    EXPECT_EQ(degraded.scores[c], expected_fallback[c]);
+
+  for (int i = 1; i < 4; ++i) {
+    const Response good = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(good.status, serve::RequestStatus::kOk);
+    const std::vector<float> expected =
+        direct_scores(*engine.bundle("m"), ds.sample(i));
+    for (std::size_t c = 0; c < expected.size(); ++c)
+      EXPECT_EQ(good.scores[c], expected[c]);
+  }
+  util::fault::disarm_all();
+
+  // Poison input under kDegrade: still kInternalError, never a degraded lie.
+  tensor::Tensor poison = ds.sample(0);
+  poison.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  std::future<Response> doomed;
+  ASSERT_EQ(engine.submit("m", poison, &doomed), SubmitStatus::kOk);
+  EXPECT_EQ(doomed.get().status, serve::RequestStatus::kInternalError);
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.completed, 4u);  // 3 kOk + 1 kDegraded
+  EXPECT_EQ(stats.internal_errors, 1u);
+  EXPECT_EQ(stats.numeric_faults, 2u);
+}
+
+TEST(ServeEngine, TransientWorkerThrowIsContainedAndRetried) {
+  // The first batch execution throws; bisection re-runs both halves, the
+  // fault does not recur, and every request completes kOk — with the same
+  // bitwise scores the healthy path produces — after exactly one retry.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 500.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  util::fault::disarm_all();
+  util::fault::arm("serve.worker_throw", 1);
+
+  std::vector<std::future<Response>> futures(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const Response response = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(response.status, serve::RequestStatus::kOk);
+    EXPECT_EQ(response.retries, 1);
+    const std::vector<float> expected =
+        direct_scores(*engine.bundle("m"), ds.sample(i));
+    for (std::size_t c = 0; c < expected.size(); ++c)
+      EXPECT_EQ(response.scores[c], expected[c]);
+  }
+  util::fault::disarm_all();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batch_faults, 1u);
+  EXPECT_EQ(stats.retried, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.internal_errors, 0u);
+}
+
+TEST(ServeEngine, PermanentWorkerThrowQuarantinesEveryRequestAndRecovers) {
+  // Every execution throws: bisection drills down to singletons and each
+  // request is quarantined with kInternalError — the worker thread never
+  // dies, no promise is lost, and once the fault clears the engine serves
+  // bitwise-correct responses again.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 500.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  util::fault::disarm_all();
+  util::fault::arm_every("serve.worker_throw");
+
+  std::vector<std::future<Response>> futures(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(engine.submit("m", ds.sample(i), &futures[static_cast<std::size_t>(i)]),
+              SubmitStatus::kOk);
+  }
+  for (auto& future : futures) {
+    const Response response = future.get();
+    EXPECT_EQ(response.status, serve::RequestStatus::kInternalError);
+    EXPECT_EQ(response.predicted, -1);
+  }
+  serve::EngineStats stats = engine.stats();
+  // 1 full batch + 2 halves + 4 singletons all threw.
+  EXPECT_EQ(stats.batch_faults, 7u);
+  EXPECT_EQ(stats.internal_errors, 4u);
+  EXPECT_GE(stats.retried, 4u);
+
+  util::fault::disarm_all();
+  std::future<Response> healthy;
+  ASSERT_EQ(engine.submit("m", ds.sample(0), &healthy), SubmitStatus::kOk);
+  const Response response = healthy.get();
+  EXPECT_EQ(response.status, serve::RequestStatus::kOk);
+  const std::vector<float> expected =
+      direct_scores(*engine.bundle("m"), ds.sample(0));
+  for (std::size_t c = 0; c < expected.size(); ++c)
+    EXPECT_EQ(response.scores[c], expected[c]);
+  stats = engine.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.timed_out + stats.internal_errors);
+}
+
+TEST(ServeEngine, NonFiniteCheckpointReloadIsRejectedTyped) {
+  // A checkpoint can pass every CRC and still carry NaN weights; reload
+  // must reject it as kNonFinite before the writer lock, keeping the old
+  // weights serving bit-for-bit.
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 1.0;
+  Engine engine(config);
+  engine.register_model("m", make_trained_bundle(config.max_batch));
+  const data::Dataset ds = tiny_dataset(2, 5);
+  const tensor::Tensor probe = ds.sample(0);
+  const std::vector<float> before = direct_scores(*engine.bundle("m"), probe);
+  const std::string path = temp_path("nonfinite");
+  util::fault::disarm_all();
+
+  // A structurally-valid checkpoint whose state blob carries one NaN.
+  util::Checkpoint poisoned;
+  poisoned.key = "m";
+  util::CheckpointTensor state;
+  state.values = engine.bundle("m")->nshd.save_state();
+  state.values[state.values.size() / 3] = std::numeric_limits<float>::quiet_NaN();
+  state.dims = {static_cast<std::int64_t>(state.values.size())};
+  poisoned.tensors.push_back(std::move(state));
+  ASSERT_TRUE(util::write_checkpoint_file(path, poisoned));
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kNonFinite);
+
+  // serve.reload_corrupt models the same corruption appearing in memory on
+  // an intact file: same typed rejection.
+  ASSERT_TRUE(serve::save_bundle_checkpoint(engine.bundle("m")->nshd, "m", path));
+  util::fault::arm("serve.reload_corrupt", 1);
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kNonFinite);
+  util::fault::disarm_all();
+  EXPECT_EQ(engine.stats().reloads_failed, 2u);
+
+  // Old weights kept serving; the intact file now loads cleanly.
+  std::future<Response> future;
+  ASSERT_EQ(engine.submit("m", probe, &future), SubmitStatus::kOk);
+  const Response response = future.get();
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_EQ(response.scores[c], before[c]);
+  EXPECT_EQ(engine.reload("m", path), util::LoadStatus::kOk);
+  EXPECT_EQ(engine.stats().reloads_ok, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeEngine, RegisterRejectsNonFiniteOrMismatchedBundles) {
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(config);
+
+  // Non-finite primary weights: rejected on the caller's thread, before any
+  // worker can touch the bundle.
+  auto poisoned = make_trained_bundle(config.max_batch);
+  std::vector<float> blob = poisoned->nshd.save_state();
+  blob[blob.size() / 2] = std::numeric_limits<float>::infinity();
+  ASSERT_TRUE(poisoned->nshd.load_state(blob));
+  EXPECT_THROW(engine.register_model("bad", std::move(poisoned)),
+               std::invalid_argument);
+
+  // A fallback that still uses a manifold is not a raw-feature head.
+  auto wrong_fallback = make_trained_bundle(config.max_batch);
+  wrong_fallback->fallback =
+      std::make_unique<core::NshdModel>(wrong_fallback->zoo, kCut, tiny_nshd_config());
+  EXPECT_THROW(engine.register_model("worse", std::move(wrong_fallback)),
+               std::invalid_argument);
+
+  // A healthy bundle with a healthy fallback registers fine.
+  auto healthy = make_trained_bundle(config.max_batch);
+  healthy->fallback = make_fallback_for(*healthy);
+  engine.register_model("ok", std::move(healthy));
+  EXPECT_NE(engine.bundle("ok"), nullptr);
 }
 
 TEST(ServeEngine, MultiModelRoutingAndIsolation) {
