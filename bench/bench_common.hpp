@@ -1,6 +1,7 @@
 // Shared plumbing for the per-table/per-figure bench harnesses.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -11,6 +12,77 @@
 #include "util/table.hpp"
 
 namespace nshd::bench {
+
+/// Streaming writer for the committed BENCH_*.json artifacts.  Tracks the
+/// open container stack so commas and indentation come out right; numeric
+/// fields take an explicit precision so the files stay diff-stable across
+/// reruns.  The writer does not own the FILE*; destroy it before fclose.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) { stack_.push_back(false); }
+  ~JsonWriter() { std::fputc('\n', out_); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object(const char* key = nullptr) { open(key, '{'); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open(key, '['); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const char* value) {
+    prefix(key);
+    std::fprintf(out_, "\"%s\"", value);
+  }
+  void field(const char* key, const std::string& value) {
+    field(key, value.c_str());
+  }
+  void field(const char* key, double value, int precision) {
+    prefix(key);
+    std::fprintf(out_, "%.*f", precision, value);
+  }
+  void field(const char* key, std::int64_t value) {
+    prefix(key);
+    std::fprintf(out_, "%lld", static_cast<long long>(value));
+  }
+  void field(const char* key, std::size_t value) {
+    field(key, static_cast<std::int64_t>(value));
+  }
+  void field(const char* key, int value) {
+    field(key, static_cast<std::int64_t>(value));
+  }
+  void field(const char* key, bool value) {
+    prefix(key);
+    std::fputs(value ? "true" : "false", out_);
+  }
+
+ private:
+  void prefix(const char* key) {
+    if (stack_.back())
+      std::fputs(",\n", out_);
+    else if (stack_.size() > 1)
+      std::fputc('\n', out_);
+    stack_.back() = true;
+    for (std::size_t i = 1; i < stack_.size(); ++i) std::fputs("  ", out_);
+    if (key) std::fprintf(out_, "\"%s\": ", key);
+  }
+  void open(const char* key, char bracket) {
+    prefix(key);
+    std::fputc(bracket, out_);
+    stack_.push_back(false);
+  }
+  void close(char bracket) {
+    const bool had_items = stack_.back();
+    stack_.pop_back();
+    if (had_items) {
+      std::fputc('\n', out_);
+      for (std::size_t i = 1; i < stack_.size(); ++i) std::fputs("  ", out_);
+    }
+    std::fputc(bracket, out_);
+  }
+
+  std::FILE* out_;
+  std::vector<bool> stack_;  // per open container: already holds an item?
+};
 
 /// Standard context for accuracy benches: SynthCIFAR with the repo-default
 /// teacher schedule; honors --classes, --train_per_class, --test_per_class.

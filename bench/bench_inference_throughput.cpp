@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/feature_extractor.hpp"
 #include "data/synth_cifar.hpp"
 #include "models/zoo.hpp"
 #include "nn/plan.hpp"
+#include "tensor/simd.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -138,22 +140,27 @@ int main(int argc, char** argv) {
               static_cast<long long>(batch), table.to_string().c_str());
 
   if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(out, "{\n  \"batch\": %lld,\n  \"samples\": %lld,\n  \"results\": [\n",
-                 static_cast<long long>(batch),
-                 static_cast<long long>(dataset.size()));
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const Record& r = records[i];
-      std::fprintf(out,
-                   "    {\"model\": \"%s\", \"cut\": %zu, "
-                   "\"legacy_samples_per_sec\": %.2f, "
-                   "\"planned_samples_per_sec\": %.2f, \"speedup\": %.3f, "
-                   "\"planned_workspace_bytes\": %zu, "
-                   "\"peak_workspace_bytes\": %zu}%s\n",
-                   r.model.c_str(), r.cut, r.legacy_sps, r.planned_sps,
-                   r.planned_sps / r.legacy_sps, r.planned_bytes, r.peak_bytes,
-                   i + 1 < records.size() ? "," : "");
+    {
+      bench::JsonWriter json(out);
+      json.begin_object();
+      json.field("isa", tensor::simd::kIsaName);
+      json.field("batch", batch);
+      json.field("samples", dataset.size());
+      json.begin_array("results");
+      for (const Record& r : records) {
+        json.begin_object();
+        json.field("model", r.model);
+        json.field("cut", r.cut);
+        json.field("legacy_samples_per_sec", r.legacy_sps, 2);
+        json.field("planned_samples_per_sec", r.planned_sps, 2);
+        json.field("speedup", r.planned_sps / r.legacy_sps, 3);
+        json.field("planned_workspace_bytes", r.planned_bytes);
+        json.field("peak_workspace_bytes", r.peak_bytes);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
     }
-    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   } else {

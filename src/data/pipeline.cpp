@@ -1,0 +1,170 @@
+#include "data/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/fault.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nshd::data {
+
+int prefetch_depth_from_env() {
+  const char* env = std::getenv("NSHD_PREFETCH");
+  if (env == nullptr) return 1;
+  return util::parse_env_count("NSHD_PREFETCH", env, 0, kMaxPrefetchDepth, 1);
+}
+
+BatchPipeline::BatchPipeline(const Dataset& dataset, std::int64_t batch_size,
+                             util::Rng& rng, int depth, bool shuffle)
+    : dataset_(&dataset),
+      batch_size_(std::max<std::int64_t>(1, batch_size)),
+      rng_(&rng),
+      shuffle_(shuffle),
+      depth_(std::clamp(depth, 0, kMaxPrefetchDepth)),
+      order_(util::iota_indices(static_cast<std::size_t>(dataset.size()))) {
+  batches_per_epoch_ = (dataset_->size() + batch_size_ - 1) / batch_size_;
+  chw_ = dataset_->size() > 0 ? dataset_->images.numel() / dataset_->size() : 0;
+  // Same rng draw as the BatchIterator constructor.
+  if (shuffle_) rng_->shuffle(order_);
+
+  // depth batches in flight + the one the consumer is holding.
+  const int nslots = depth_ == 0 ? 1 : depth_ + 1;
+  slots_.resize(static_cast<std::size_t>(nslots));
+  if (dataset_->size() > 0) {
+    for (Slot& slot : slots_) {
+      slot.images = tensor::Tensor(
+          tensor::Shape{batch_size_, dataset_->channels(), dataset_->height(),
+                        dataset_->width()});
+      slot.labels.reserve(static_cast<std::size_t>(batch_size_));
+    }
+  }
+  if (depth_ > 0) producer_ = std::thread([this] { producer_loop(); });
+}
+
+BatchPipeline::~BatchPipeline() {
+  if (producer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    producer_.join();
+  }
+}
+
+std::vector<std::size_t> BatchPipeline::batch_indices_locked(
+    std::int64_t b) const {
+  const auto begin = static_cast<std::size_t>(b * batch_size_);
+  const std::size_t end =
+      std::min(begin + static_cast<std::size_t>(batch_size_), order_.size());
+  return {order_.begin() + static_cast<std::ptrdiff_t>(begin),
+          order_.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+void BatchPipeline::fill_slot(Slot& slot,
+                              const std::vector<std::size_t>& indices) {
+  if (util::fault::should_fire("train.prefetch_stall"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  slot.count = static_cast<std::int64_t>(indices.size());
+  // Same per-sample memcpy as Dataset::gather, into the slot's leading rows.
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(slot.images.data() + static_cast<std::int64_t>(i) * chw_,
+                dataset_->images.data() +
+                    static_cast<std::int64_t>(indices[i]) * chw_,
+                static_cast<std::size_t>(chw_) * sizeof(float));
+  }
+  slot.labels.clear();
+  for (std::size_t idx : indices) slot.labels.push_back(dataset_->labels[idx]);
+}
+
+void BatchPipeline::producer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t gen = generation_;
+  std::int64_t p = 0;  // next batch of `gen` to fill
+  const auto nslots = static_cast<std::int64_t>(slots_.size());
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stop_ || generation_ != gen ||
+             (p < batches_per_epoch_ && p - released_ < nslots);
+    });
+    if (stop_) return;
+    if (generation_ != gen) {
+      // reset() reshuffled and restarted the epoch; drop our position.
+      gen = generation_;
+      p = 0;
+      continue;
+    }
+    // Snapshot the index slice under the lock (order_ may be reshuffled by a
+    // concurrent reset(), which also bumps generation_ so this batch would
+    // be discarded below).  The gather itself runs unlocked.
+    const std::vector<std::size_t> indices = batch_indices_locked(p);
+    Slot& slot = slots_[static_cast<std::size_t>(p % nslots)];
+    lock.unlock();
+    fill_slot(slot, indices);
+    lock.lock();
+    if (generation_ == gen) {
+      produced_ = ++p;
+      cv_.notify_all();
+    }
+  }
+}
+
+bool BatchPipeline::next(tensor::TensorView& images,
+                         std::vector<std::int64_t>& labels) {
+  if (depth_ == 0) {
+    // Synchronous mode: fill the single slot inline, BatchIterator-style.
+    if (handed_ >= batches_per_epoch_) return false;
+    const std::vector<std::size_t> indices = batch_indices_locked(handed_);
+    Slot& slot = slots_[0];
+    fill_slot(slot, indices);
+    ++handed_;
+    images = tensor::TensorView(
+        slot.images.data(),
+        tensor::Shape{slot.count, dataset_->channels(), dataset_->height(),
+                      dataset_->width()});
+    labels = slot.labels;
+    return true;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (has_borrow_) {
+    // The previously handed-out slot is free for the producer again.
+    ++released_;
+    has_borrow_ = false;
+    cv_.notify_all();
+  }
+  if (handed_ >= batches_per_epoch_) return false;
+  cv_.wait(lock, [&] { return produced_ > handed_; });
+  Slot& slot =
+      slots_[static_cast<std::size_t>(handed_ %
+                                      static_cast<std::int64_t>(slots_.size()))];
+  ++handed_;
+  has_borrow_ = true;
+  images = tensor::TensorView(
+      slot.images.data(),
+      tensor::Shape{slot.count, dataset_->channels(), dataset_->height(),
+                    dataset_->width()});
+  labels = slot.labels;
+  return true;
+}
+
+void BatchPipeline::reset() {
+  if (depth_ == 0) {
+    handed_ = 0;
+    if (shuffle_) rng_->shuffle(order_);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    produced_ = handed_ = released_ = 0;
+    has_borrow_ = false;
+    // Same rng draw as BatchIterator::reset(), on the calling thread.
+    if (shuffle_) rng_->shuffle(order_);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace nshd::data

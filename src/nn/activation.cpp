@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace nshd::nn {
 
 const char* to_string(Activation act) {
@@ -89,14 +91,68 @@ void ActivationLayer::forward_into(const TensorView& in, TensorView out,
   }
 }
 
+void ActivationLayer::backward_into(const TensorView& in,
+                                    const TensorView& grad_out,
+                                    TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  assert(grad_out.numel() == in.numel() && grad_in.numel() == in.numel());
+  const float* src = in.data();
+  const float* gout = grad_out.data();
+  float* gin = grad_in.data();
+  // One write per element and no accumulation, so chunking over elements is
+  // trivially bitwise thread-invariant.  Each branch applies the exact
+  // scalar expression of activate_grad(), dispatch hoisted like forward_into.
+  switch (act_) {
+    case Activation::kReLU:
+      util::parallel_for(0, in.numel(), kTrainElemGrain,
+                         [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          gin[i] = gout[i] * (src[i] > 0.0f ? 1.0f : 0.0f);
+      });
+      break;
+    case Activation::kReLU6:
+      util::parallel_for(0, in.numel(), kTrainElemGrain,
+                         [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          gin[i] = gout[i] * ((src[i] > 0.0f && src[i] < 6.0f) ? 1.0f : 0.0f);
+      });
+      break;
+    case Activation::kSiLU:
+      util::parallel_for(0, in.numel(), kTrainElemGrain,
+                         [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float x = src[i];
+          const float s = 1.0f / (1.0f + std::exp(-x));
+          gin[i] = gout[i] * (s * (1.0f + x * (1.0f - s)));
+        }
+      });
+      break;
+    case Activation::kSigmoid:
+      util::parallel_for(0, in.numel(), kTrainElemGrain,
+                         [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float x = src[i];
+          const float s = 1.0f / (1.0f + std::exp(-x));
+          gin[i] = gout[i] * (s * (1.0f - s));
+        }
+      });
+      break;
+  }
+}
+
 Tensor ActivationLayer::backward(const Tensor& grad_output) {
-  assert(!cached_input_.empty());
+  if (cached_input_.empty())
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
+  if (grad_output.shape() != cached_input_.shape())
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_.shape().to_string());
   Tensor grad_input(grad_output.shape());
-  const float* gout = grad_output.data();
-  const float* in = cached_input_.data();
-  float* gin = grad_input.data();
-  const std::int64_t n = grad_output.numel();
-  for (std::int64_t i = 0; i < n; ++i) gin[i] = gout[i] * activate_grad(act_, in[i]);
+  Workspace& ws = legacy_train_workspace();
+  ws.reset();
+  backward_into(cached_input_.view(), grad_output.view(), grad_input.view(), ws);
   return grad_input;
 }
 

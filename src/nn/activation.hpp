@@ -18,6 +18,8 @@ class ActivationLayer final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kActivation; }

@@ -14,6 +14,10 @@ class BatchNorm2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void forward_train_into(const TensorView& in, TensorView out,
+                          Workspace& ws) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   bool inplace_eval() const override { return true; }
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override { return input; }
@@ -35,13 +39,23 @@ class BatchNorm2d final : public Layer {
   }
 
  private:
+  /// Training forward shared by forward() and forward_train_into(): computes
+  /// batch statistics into saved_mean_/saved_inv_std_, folds them into the
+  /// running stats, and normalizes.  Channels are independent (one writer per
+  /// channel everywhere), so the per-channel shard is bitwise invariant.
+  void forward_train_impl(const float* in, float* out, std::int64_t batch,
+                          std::int64_t hw);
+
   std::int64_t channels_;
   float momentum_, epsilon_;
   Param gamma_, beta_;
   Tensor running_mean_, running_var_;
-  // Cached state for backward.
-  Tensor cached_normalized_;   // x_hat
-  Tensor cached_inv_std_;      // per-channel 1/sqrt(var+eps)
+  // Batch statistics of the last training forward; backward recomputes
+  // x_hat = (x - mean) * inv_std from them with the exact forward expression,
+  // so no [N, C, H, W] normalized cache is needed.
+  Tensor saved_mean_, saved_inv_std_;
+  // Legacy-path cache (planned path passes the pinned activation instead).
+  Tensor cached_input_;
 };
 
 }  // namespace nshd::nn

@@ -6,6 +6,7 @@
 #include "nn/conv.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::nn {
 
@@ -67,13 +68,7 @@ Tensor SqueezeExcite::forward(const Tensor& input, bool training) {
     }
   }
 
-  if (training) {
-    cached_input_ = input;
-    cached_pooled_ = std::move(pooled);
-    cached_hidden_ = std::move(hidden);
-    cached_gate_pre_ = std::move(gate_pre);
-    cached_gate_ = std::move(gate);
-  }
+  if (training) cached_input_ = input;
   return output;
 }
 
@@ -136,73 +131,135 @@ std::int64_t SqueezeExcite::scratch_floats(const Shape& input) const {
   return batch * (3 * channels_ + 2 * reduced_) + 5 * align;
 }
 
-Tensor SqueezeExcite::backward(const Tensor& grad_output) {
-  assert(!cached_input_.empty());
-  const Tensor& input = cached_input_;
-  const std::int64_t batch = input.shape()[0];
-  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+std::int64_t SqueezeExcite::train_scratch_floats(const Shape& input) const {
+  assert(input.rank() == 4);
+  const std::int64_t batch = input[0];
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  // Five recomputed forward intermediates plus five gradient buffers.
+  return batch * (6 * channels_ + 4 * reduced_) + 10 * align;
+}
+
+void SqueezeExcite::backward_into(const TensorView& in,
+                                  const TensorView& grad_out,
+                                  TensorView grad_in, Workspace& ws) {
+  assert(in.shape().rank() == 4 && in.shape()[1] == channels_);
+  assert(grad_out.shape() == in.shape());
+  assert(grad_in.shape() == in.shape());
+  const std::int64_t batch = in.shape()[0];
+  const std::int64_t hw = in.shape()[2] * in.shape()[3];
+
+  Workspace::Frame frame(ws);
+  float* pooled = ws.alloc(batch * channels_);
+  float* hidden = ws.alloc(batch * reduced_);
+  float* hidden_act = ws.alloc(batch * reduced_);
+  float* gate_pre = ws.alloc(batch * channels_);
+  float* gate = ws.alloc(batch * channels_);
+  float* grad_gate = ws.alloc(batch * channels_);
+  float* grad_gate_pre = ws.alloc(batch * channels_);
+  float* grad_hidden_act = ws.alloc(batch * reduced_);
+  float* grad_hidden = ws.alloc(batch * reduced_);
+  float* grad_pooled = ws.alloc(batch * channels_);
+
+  // Recompute the forward intermediates with the exact forward expressions —
+  // same inputs, same op order, so every value is bitwise equal to what a
+  // cached-tensor implementation would have stored.
+  util::parallel_for(0, batch * channels_, kTrainSampleGrain,
+                     [&](std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t p = pb; p < pe; ++p) {
+      const float* plane = in.data() + p * hw;
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) sum += plane[i];
+      pooled[p] = static_cast<float>(sum / hw);
+    }
+  });
+  tensor::gemm_bt(pooled, w1_.value.data(), hidden, batch, channels_, reduced_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t r = 0; r < reduced_; ++r)
+      hidden[n * reduced_ + r] += b1_.value[r];
+  for (std::int64_t i = 0; i < batch * reduced_; ++i)
+    hidden_act[i] = activate(act_, hidden[i]);
+  tensor::gemm_bt(hidden_act, w2_.value.data(), gate_pre, batch, reduced_,
+                  channels_);
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t c = 0; c < channels_; ++c)
+      gate_pre[n * channels_ + c] += b2_.value[c];
+  for (std::int64_t i = 0; i < batch * channels_; ++i)
+    gate[i] = activate(Activation::kSigmoid, gate_pre[i]);
 
   // y[n,c,i] = x[n,c,i] * s[n,c].
-  // dL/dx gets the direct term here; the gate path adds more below.
-  Tensor grad_input(input.shape());
-  Tensor grad_gate(Shape{batch, channels_});  // dL/ds
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < channels_; ++c) {
-      const float s = cached_gate_.at(n, c);
-      const float* gout = grad_output.data() + (n * channels_ + c) * hw;
-      const float* in_plane = input.data() + (n * channels_ + c) * hw;
-      float* gin = grad_input.data() + (n * channels_ + c) * hw;
+  // dL/dx gets the direct term here; the gate path adds more below.  One
+  // (n, c) plane per iteration — single writer for gin and grad_gate.
+  util::parallel_for(0, batch * channels_, kTrainSampleGrain,
+                     [&](std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t p = pb; p < pe; ++p) {
+      const float s = gate[p];
+      const float* gout = grad_out.data() + p * hw;
+      const float* in_plane = in.data() + p * hw;
+      float* gin = grad_in.data() + p * hw;
       double acc = 0.0;
       for (std::int64_t i = 0; i < hw; ++i) {
         gin[i] = gout[i] * s;
         acc += static_cast<double>(gout[i]) * in_plane[i];
       }
-      grad_gate.at(n, c) = static_cast<float>(acc);
+      grad_gate[p] = static_cast<float>(acc);
     }
-  }
+  });
 
   // Through the sigmoid.
-  Tensor grad_gate_pre(Shape{batch, channels_});
-  for (std::int64_t i = 0; i < grad_gate.numel(); ++i)
-    grad_gate_pre[i] = grad_gate[i] * activate_grad(Activation::kSigmoid, cached_gate_pre_[i]);
+  for (std::int64_t i = 0; i < batch * channels_; ++i)
+    grad_gate_pre[i] =
+        grad_gate[i] * activate_grad(Activation::kSigmoid, gate_pre[i]);
 
   // Expand FC: gate_pre = hidden_act * W2^T + b2.
-  Tensor hidden_act(Shape{batch, reduced_});
-  for (std::int64_t i = 0; i < hidden_act.numel(); ++i)
-    hidden_act[i] = activate(act_, cached_hidden_[i]);
-  tensor::gemm_at(grad_gate_pre.data(), hidden_act.data(), w2_.grad.data(),
-                  channels_, batch, reduced_, /*accumulate=*/true);
+  tensor::gemm_at(grad_gate_pre, hidden_act, w2_.grad.data(), channels_,
+                  batch, reduced_, /*accumulate=*/true);
   for (std::int64_t n = 0; n < batch; ++n)
-    for (std::int64_t c = 0; c < channels_; ++c) b2_.grad[c] += grad_gate_pre.at(n, c);
+    for (std::int64_t c = 0; c < channels_; ++c)
+      b2_.grad[c] += grad_gate_pre[n * channels_ + c];
 
-  Tensor grad_hidden_act(Shape{batch, reduced_});
-  tensor::gemm(grad_gate_pre.data(), w2_.value.data(), grad_hidden_act.data(),
-               batch, channels_, reduced_);
+  tensor::gemm(grad_gate_pre, w2_.value.data(), grad_hidden_act, batch,
+               channels_, reduced_);
 
   // Through the mid activation.
-  Tensor grad_hidden(Shape{batch, reduced_});
-  for (std::int64_t i = 0; i < grad_hidden.numel(); ++i)
-    grad_hidden[i] = grad_hidden_act[i] * activate_grad(act_, cached_hidden_[i]);
+  for (std::int64_t i = 0; i < batch * reduced_; ++i)
+    grad_hidden[i] = grad_hidden_act[i] * activate_grad(act_, hidden[i]);
 
   // Reduce FC: hidden = pooled * W1^T + b1.
-  tensor::gemm_at(grad_hidden.data(), cached_pooled_.data(), w1_.grad.data(),
-                  reduced_, batch, channels_, /*accumulate=*/true);
+  tensor::gemm_at(grad_hidden, pooled, w1_.grad.data(), reduced_, batch,
+                  channels_, /*accumulate=*/true);
   for (std::int64_t n = 0; n < batch; ++n)
-    for (std::int64_t r = 0; r < reduced_; ++r) b1_.grad[r] += grad_hidden.at(n, r);
+    for (std::int64_t r = 0; r < reduced_; ++r)
+      b1_.grad[r] += grad_hidden[n * reduced_ + r];
 
-  Tensor grad_pooled(Shape{batch, channels_});
-  tensor::gemm(grad_hidden.data(), w1_.value.data(), grad_pooled.data(), batch,
-               reduced_, channels_);
+  tensor::gemm(grad_hidden, w1_.value.data(), grad_pooled, batch, reduced_,
+               channels_);
 
   // Pool adjoint: broadcast back over HW.
   const float inv = 1.0f / static_cast<float>(hw);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < channels_; ++c) {
-      const float g = grad_pooled.at(n, c) * inv;
-      float* gin = grad_input.data() + (n * channels_ + c) * hw;
+  util::parallel_for(0, batch * channels_, kTrainSampleGrain,
+                     [&](std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t p = pb; p < pe; ++p) {
+      const float g = grad_pooled[p] * inv;
+      float* gin = grad_in.data() + p * hw;
       for (std::int64_t i = 0; i < hw; ++i) gin[i] += g;
     }
-  }
+  });
+}
+
+Tensor SqueezeExcite::backward(const Tensor& grad_output) {
+  if (cached_input_.empty())
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
+  if (grad_output.shape() != cached_input_.shape())
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_.shape().to_string());
+  Tensor grad_input(cached_input_.shape());
+  Workspace& ws = legacy_train_workspace();
+  ws.reset();
+  backward_into(cached_input_.view(), grad_output.view(), grad_input.view(),
+                ws);
   return grad_input;
 }
 
@@ -262,6 +319,45 @@ void MBConvBlock::forward_into(const TensorView& in, TensorView out,
 
 std::int64_t MBConvBlock::scratch_floats(const Shape& input) const {
   return body_.scratch_floats(input);
+}
+
+std::int64_t MBConvBlock::train_scratch_floats(const Shape& input) const {
+  return body_.train_scratch_floats(input);
+}
+
+std::int64_t MBConvBlock::train_pinned_floats(const Shape& input) const {
+  return body_.train_pinned_floats(input);
+}
+
+void MBConvBlock::forward_train_into(const TensorView& in, TensorView out,
+                                     Workspace& ws) {
+  // The body pins its boundary activations (including `in`) on its tape;
+  // backward_into must later receive this same `in`.
+  body_.forward_train_into(in, out, ws);
+  if (residual_) {
+    assert(out.shape() == in.shape());
+    float* po = out.data();
+    const float* pi = in.data();
+    util::parallel_for(0, out.numel(), kTrainElemGrain,
+                       [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) po[i] += pi[i];
+    });
+  }
+}
+
+void MBConvBlock::backward_into(const TensorView& in,
+                                const TensorView& grad_out,
+                                TensorView grad_in, Workspace& ws) {
+  body_.backward_into(in, grad_out, grad_in, ws);
+  if (residual_) {
+    // Skip-connection adjoint: one add per element, chunk-safe.
+    float* pg = grad_in.data();
+    const float* po = grad_out.data();
+    util::parallel_for(0, grad_in.numel(), kTrainElemGrain,
+                       [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) pg[i] += po[i];
+    });
+  }
 }
 
 Tensor MBConvBlock::backward(const Tensor& grad_output) {

@@ -24,7 +24,13 @@ class SqueezeExcite final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  /// Recomputes the pooled/hidden/gate intermediates from `in` with the
+  /// exact forward expressions (bitwise equal to caching them), then runs
+  /// the gradient math — so training needs no [N, C]-sized caches at all.
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   std::int64_t scratch_floats(const Shape& input) const override;
+  std::int64_t train_scratch_floats(const Shape& input) const override;
   bool inplace_eval() const override { return true; }
   std::vector<Param*> params() override { return {&w1_, &b1_, &w2_, &b2_}; }
   Shape output_shape(const Shape& input) const override { return input; }
@@ -39,12 +45,8 @@ class SqueezeExcite final : public Layer {
   Activation act_;
   Param w1_, b1_;  // [reduced, channels], [reduced]
   Param w2_, b2_;  // [channels, reduced], [channels]
-  // Cached forward state (per batch).
+  // Legacy-path cache: just the input; everything else is recomputed.
   Tensor cached_input_;
-  Tensor cached_pooled_;   // [N, C]
-  Tensor cached_hidden_;   // pre-activation of the reduce FC, [N, R]
-  Tensor cached_gate_pre_; // pre-sigmoid of the expand FC, [N, C]
-  Tensor cached_gate_;     // sigmoid output, [N, C]
 };
 
 struct MBConvConfig {
@@ -69,7 +71,13 @@ class MBConvBlock final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void forward_train_into(const TensorView& in, TensorView out,
+                          Workspace& ws) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   std::int64_t scratch_floats(const Shape& input) const override;
+  std::int64_t train_scratch_floats(const Shape& input) const override;
+  std::int64_t train_pinned_floats(const Shape& input) const override;
   std::vector<Param*> params() override { return body_.params(); }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kBlock; }

@@ -18,7 +18,10 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   std::int64_t scratch_floats(const Shape& input) const override;
+  std::int64_t train_scratch_floats(const Shape& input) const override;
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kConv; }
@@ -52,6 +55,9 @@ class DepthwiseConv2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
+  std::int64_t train_scratch_floats(const Shape& input) const override;
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kDepthwiseConv; }

@@ -5,6 +5,20 @@
 
 namespace nshd::nn {
 
+void Layer::backward_into(const TensorView& in, const TensorView& grad_out,
+                          TensorView grad_in, Workspace& ws) {
+  (void)in;
+  (void)grad_out;
+  (void)grad_in;
+  (void)ws;
+  throw TrainingStateError("backward_into is not implemented for " + name());
+}
+
+Workspace& legacy_train_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
 void Layer::forward_into(const TensorView& in, TensorView out,
                          Workspace& scratch) {
   (void)scratch;

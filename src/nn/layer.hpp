@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,24 @@ using tensor::Shape;
 using tensor::Tensor;
 using tensor::TensorView;
 using tensor::Workspace;
+
+/// Violation of the training-state contract: backward called before
+/// forward(training=true), a grad_output that does not match the cached
+/// batch, or a planned step driven out of order.  Typed (instead of an
+/// assert) so release builds fail loudly rather than reading stale caches.
+class TrainingStateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Fixed chunk grains for the deterministic data-parallel backward path.
+/// Gradient accumulation shards the batch into kTrainSampleGrain-sample
+/// chunks with per-chunk partial buffers reduced in chunk-index order, and
+/// elementwise adjoints split into kTrainElemGrain-element chunks — both are
+/// functions of the work only, so results are bitwise identical at every
+/// NSHD_THREADS (see DESIGN.md "Planned training & gradient accumulation").
+inline constexpr std::int64_t kTrainSampleGrain = 8;
+inline constexpr std::int64_t kTrainElemGrain = 1 << 14;
 
 /// A trainable parameter: value plus an accumulated gradient of equal shape.
 struct Param {
@@ -80,6 +99,49 @@ class Layer {
     return 0;
   }
 
+  /// Training-mode forward writing into caller-provided memory.  Must match
+  /// forward(input, /*training=*/true) bitwise.  Unlike the legacy forward,
+  /// this does NOT cache the input — the planned training path (TrainingPlan
+  /// via Sequential::forward_train_into) pins boundary activations in the
+  /// workspace and hands them back to backward_into, so no layer copies its
+  /// input.  Layers whose training math equals eval math (conv, linear,
+  /// pool, activation, SE, flatten) inherit the forward_into default;
+  /// batch-norm (batch statistics), dropout (mask stream) and containers
+  /// (tape) override.
+  virtual void forward_train_into(const TensorView& in, TensorView out,
+                                  Workspace& ws) {
+    forward_into(in, out, ws);
+  }
+
+  /// Backward pass writing into caller-provided memory: accumulates into
+  /// param grads and writes d(loss)/d(input) to `grad_in`.  `in` must be the
+  /// exact activation the matching forward_train_into consumed (the planned
+  /// path passes the pinned tape entry; the legacy backward() wrappers pass
+  /// their cached copy), and `grad_in` must not alias `in` or `grad_out`.
+  /// Layer-local temporaries come from `ws` (Frame-scoped).  Implementations
+  /// shard sample/element loops through util::parallel_for with fixed grains
+  /// and reduce per-chunk gradient partials in chunk-index order, so the
+  /// accumulated grads are bitwise NSHD_THREADS-invariant.
+  virtual void backward_into(const TensorView& in, const TensorView& grad_out,
+                             TensorView grad_in, Workspace& ws);
+
+  /// Upper bound on the floats this layer allocs from `ws` across one
+  /// forward_train_into + backward_into pair (excluding pinned activations,
+  /// which the container accounts for).  Defaults to scratch_floats.
+  virtual std::int64_t train_scratch_floats(const Shape& input) const {
+    return scratch_floats(input);
+  }
+
+  /// Floats that stay allocated in `ws` from forward_train_into until the
+  /// matching backward_into consumes them (a container's pinned activation
+  /// tape; leaves recompute instead of pinning, so the default is 0).
+  /// Containers must SUM this across nested layers — unlike transient
+  /// scratch, pins held by sibling blocks are all live at once.
+  virtual std::int64_t train_pinned_floats(const Shape& input) const {
+    (void)input;
+    return 0;
+  }
+
   /// True when forward_into tolerates out.data() == in.data() (elementwise
   /// or copy-free layers); lets the plan scheduler reuse buffers.
   virtual bool inplace_eval() const { return false; }
@@ -118,5 +180,12 @@ using LayerPtr = std::unique_ptr<Layer>;
 
 /// Zeroes gradients of all params in the list.
 void zero_grads(const std::vector<Param*>& params);
+
+/// Thread-local scratch arena backing the legacy allocating backward()
+/// wrappers, which now delegate to backward_into so both training paths
+/// share one gradient bitstream.  Each leaf wrapper reset()s it on entry;
+/// that is safe because leaf wrappers never nest (containers recurse through
+/// their children's wrappers, not through their own workspace use).
+Workspace& legacy_train_workspace();
 
 }  // namespace nshd::nn

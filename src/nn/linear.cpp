@@ -5,6 +5,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nshd::nn {
 
@@ -47,21 +48,48 @@ void Linear::forward_into(const TensorView& in, TensorView out,
   }
 }
 
-Tensor Linear::backward(const Tensor& grad_output) {
-  assert(!cached_input_.empty());
-  const std::int64_t batch = cached_input_.shape()[0];
+void Linear::backward_into(const TensorView& in, const TensorView& grad_out,
+                           TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  assert(in.shape().rank() == 2 && in.shape()[1] == in_features_);
+  const std::int64_t batch = in.shape()[0];
+  assert(grad_out.shape() == Shape({batch, out_features_}));
+  assert(grad_in.shape() == in.shape());
+  const float* gout = grad_out.data();
 
-  // dW[out, in] += gout[batch, out]^T * in[batch, in]
-  tensor::gemm_at(grad_output.data(), cached_input_.data(), weight_.grad.data(),
-                  out_features_, batch, in_features_, /*accumulate=*/true);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const float* row = grad_output.data() + n * out_features_;
-    for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += row[o];
-  }
+  // dW[out, in] += gout[batch, out]^T * in[batch, in] — the gemm kernel's
+  // internal order is fixed, so the accumulation is thread-invariant.
+  tensor::gemm_at(gout, in.data(), weight_.grad.data(), out_features_, batch,
+                  in_features_, /*accumulate=*/true);
+  // Bias grads: chunk over output features (each o written by one chunk
+  // only); the inner n-ascending loop keeps the per-element add order of the
+  // serial n-outer/o-inner loop, so sums are bitwise identical to it.
+  util::parallel_for(0, out_features_, kTrainSampleGrain,
+                     [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      for (std::int64_t n = 0; n < batch; ++n)
+        bias_.grad[o] += gout[n * out_features_ + o];
+    }
+  });
   // dX[batch, in] = gout[batch, out] * W[out, in]
-  Tensor grad_input(Shape{batch, in_features_});
-  tensor::gemm(grad_output.data(), weight_.value.data(), grad_input.data(),
-               batch, out_features_, in_features_);
+  tensor::gemm(gout, weight_.value.data(), grad_in.data(), batch,
+               out_features_, in_features_);
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  if (cached_input_.empty())
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
+  if (grad_output.shape() != Shape({cached_input_.shape()[0], out_features_}))
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_.shape().to_string());
+  Tensor grad_input(cached_input_.shape());
+  Workspace& ws = legacy_train_workspace();
+  ws.reset();
+  backward_into(cached_input_.view(), grad_output.view(), grad_input.view(),
+                ws);
   return grad_input;
 }
 
@@ -86,8 +114,25 @@ void Flatten::forward_into(const TensorView& in, TensorView out,
               static_cast<std::size_t>(in.numel()) * sizeof(float));
 }
 
+void Flatten::backward_into(const TensorView& in, const TensorView& grad_out,
+                            TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  (void)in;
+  assert(grad_in.numel() == grad_out.numel());
+  if (grad_out.numel() == 0) return;
+  std::memcpy(grad_in.data(), grad_out.data(),
+              static_cast<std::size_t>(grad_out.numel()) * sizeof(float));
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
-  assert(cached_input_shape_.rank() > 0);
+  if (cached_input_shape_.rank() == 0)
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
+  if (grad_output.numel() != cached_input_shape_.numel())
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_shape_.to_string());
   return grad_output.reshaped(cached_input_shape_);
 }
 
@@ -95,21 +140,41 @@ Shape Flatten::output_shape(const Shape& input) const {
   return Shape{input[0], input.numel() / input[0]};
 }
 
+float Dropout::mask_at(std::uint64_t step, std::int64_t i) const {
+  // Counter-based stream: one splitmix64 mix of (seed, step, element).  The
+  // multipliers decorrelate the step and element axes; splitmix64 then
+  // whitens the combined counter.  Matches util::Rng's bernoulli convention
+  // (u < p drops) with a 53-bit uniform.
+  std::uint64_t s = seed_ ^ (step * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ULL);
+  const std::uint64_t z = util::splitmix64(s);
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < static_cast<double>(probability_)
+             ? 0.0f
+             : 1.0f / (1.0f - probability_);
+}
+
+void Dropout::apply_mask_train(const float* in, float* out,
+                               std::int64_t numel) {
+  last_step_ = static_cast<std::uint64_t>(step_state_[0]);
+  cached_numel_ = numel;
+  const std::uint64_t step = last_step_;
+  // One write per element; mask_at is a pure function of (step, i), so
+  // chunking over elements is bitwise thread-invariant.
+  util::parallel_for(0, numel, kTrainElemGrain,
+                     [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) out[i] = in[i] * mask_at(step, i);
+  });
+  step_state_[0] = static_cast<float>(last_step_ + 1);
+}
+
 Tensor Dropout::forward(const Tensor& input, bool training) {
   if (!training || probability_ <= 0.0f) {
-    mask_ = Tensor();
+    cached_numel_ = -1;
     return input;
   }
-  mask_ = Tensor(input.shape());
   Tensor output(input.shape());
-  const float keep_scale = 1.0f / (1.0f - probability_);
-  const float* in = input.data();
-  float* m = mask_.data();
-  float* out = output.data();
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
-    m[i] = rng_->bernoulli(probability_) ? 0.0f : keep_scale;
-    out[i] = in[i] * m[i];
-  }
+  apply_mask_train(input.data(), output.data(), input.numel());
   return output;
 }
 
@@ -117,20 +182,58 @@ void Dropout::forward_into(const TensorView& in, TensorView out,
                            Workspace& scratch) {
   (void)scratch;
   assert(out.numel() == in.numel());
-  // Inference dropout is the identity.  Unlike forward(), this leaves mask_
-  // untouched so concurrent plan workers never race on layer state.
+  // Inference dropout is the identity.  Leaves the mask stream untouched so
+  // concurrent plan workers never race on layer state.
   if (out.data() == in.data() || in.numel() == 0) return;
   std::memcpy(out.data(), in.data(),
               static_cast<std::size_t>(in.numel()) * sizeof(float));
 }
 
+void Dropout::forward_train_into(const TensorView& in, TensorView out,
+                                 Workspace& ws) {
+  (void)ws;
+  assert(out.numel() == in.numel());
+  if (probability_ <= 0.0f) {
+    cached_numel_ = -1;
+    forward_into(in, out, ws);
+    return;
+  }
+  apply_mask_train(in.data(), out.data(), in.numel());
+}
+
+void Dropout::backward_into(const TensorView& in, const TensorView& grad_out,
+                            TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  (void)in;
+  if (cached_numel_ < 0) {
+    // Last forward was inactive: identity.
+    if (grad_out.numel() > 0)
+      std::memcpy(grad_in.data(), grad_out.data(),
+                  static_cast<std::size_t>(grad_out.numel()) * sizeof(float));
+    return;
+  }
+  if (grad_out.numel() != cached_numel_)
+    throw TrainingStateError(
+        name() + "::backward: grad_output has " +
+        std::to_string(grad_out.numel()) + " elements but the masked batch had " +
+        std::to_string(cached_numel_));
+  const float* gout = grad_out.data();
+  float* gin = grad_in.data();
+  const std::uint64_t step = last_step_;
+  util::parallel_for(0, grad_out.numel(), kTrainElemGrain,
+                     [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) gin[i] = gout[i] * mask_at(step, i);
+  });
+}
+
 Tensor Dropout::backward(const Tensor& grad_output) {
-  if (mask_.empty()) return grad_output;
+  if (cached_numel_ < 0) return grad_output;
   Tensor grad_input(grad_output.shape());
-  const float* gout = grad_output.data();
-  const float* m = mask_.data();
-  float* gin = grad_input.data();
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) gin[i] = gout[i] * m[i];
+  Workspace& ws = legacy_train_workspace();
+  ws.reset();
+  // backward_into reads only grad_out (the mask is counter-generated), so
+  // the input view can be the gradient itself.
+  backward_into(grad_output.view(), grad_output.view(), grad_input.view(), ws);
   return grad_input;
 }
 

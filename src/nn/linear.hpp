@@ -15,6 +15,8 @@ class Linear final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kLinear; }
@@ -44,6 +46,10 @@ class Flatten final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  /// Pure relabeling: copies grad_out into grad_in (shapes differ, bytes
+  /// don't).  Reads nothing from `in` but its shape.
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kFlatten; }
@@ -55,14 +61,31 @@ class Flatten final : public Layer {
 
 /// Inverted dropout: scales kept activations by 1/(1-p) during training,
 /// identity during inference.
+///
+/// The mask is a counter-based stream: element i of training step s is a pure
+/// function mask_at(s, i) of (seed, s, i), where the seed is drawn once from
+/// the construction-time Rng and the step counter lives in a checkpointable
+/// tensor (append_state).  This makes masks bitwise reproducible at any
+/// NSHD_THREADS, identical between the legacy and planned training paths
+/// (both evaluate the same function), and exactly resumable after
+/// kill-restore — with no stored mask tensor at all.
 class Dropout final : public Layer {
  public:
-  Dropout(float probability, util::Rng& rng) : probability_(probability), rng_(&rng) {}
+  Dropout(float probability, util::Rng& rng)
+      : probability_(probability), seed_(rng.next_u64()) {}
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void forward_train_into(const TensorView& in, TensorView out,
+                          Workspace& ws) override;
+  /// Reads only grad_out (the mask is regenerated from the step counter).
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
+  void append_state(std::vector<Tensor*>& state) override {
+    state.push_back(&step_state_);
+  }
   bool inplace_eval() const override { return true; }
   Shape output_shape(const Shape& input) const override { return input; }
   LayerKind kind() const override { return LayerKind::kDropout; }
@@ -70,10 +93,25 @@ class Dropout final : public Layer {
     return "Dropout(p=" + std::to_string(probability_) + ")";
   }
 
+  float probability() const { return probability_; }
+
  private:
+  float mask_at(std::uint64_t step, std::int64_t i) const;
+  /// Shared by forward() and forward_train_into(): applies the step's mask
+  /// and advances the checkpointed counter.
+  void apply_mask_train(const float* in, float* out, std::int64_t numel);
+
   float probability_;
-  util::Rng* rng_;
-  Tensor mask_;
+  std::uint64_t seed_;
+  // Training-step counter, stored as a 1-element tensor so checkpoints carry
+  // it (same pattern as Adam's step_count_).  Exact in float far beyond any
+  // realistic step count.
+  Tensor step_state_{Shape{1}};
+  // Step the last training forward used, and its element count; backward
+  // regenerates the identical mask from these.  cached_numel_ < 0 means the
+  // last forward was inactive (eval or p <= 0), i.e. identity.
+  std::uint64_t last_step_ = 0;
+  std::int64_t cached_numel_ = -1;
 };
 
 }  // namespace nshd::nn

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "tensor/view.hpp"
 
 namespace nshd::nn {
 
@@ -19,5 +20,20 @@ struct LossResult {
 /// labels; grad_logits = (softmax - onehot) / N.
 LossResult softmax_cross_entropy(const tensor::Tensor& logits,
                                  const std::vector<std::int64_t>& labels);
+
+/// Loss + accuracy of the zero-alloc variant below.
+struct LossStats {
+  double loss = 0.0;
+  std::int64_t correct = 0;
+};
+
+/// Zero-alloc softmax-CE: writes grad_logits = (softmax - onehot) / N into
+/// caller memory (same shape as logits, must not alias it) and returns
+/// loss/correct.  Float-op order matches softmax_cross_entropy exactly, so
+/// results are bitwise identical to the allocating path.  Throws
+/// TrainingStateError on a label outside [0, K).
+LossStats softmax_cross_entropy_into(const tensor::TensorView& logits,
+                                     const std::vector<std::int64_t>& labels,
+                                     tensor::TensorView grad_logits);
 
 }  // namespace nshd::nn

@@ -1,7 +1,10 @@
 #include "nn/pool.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <limits>
+
+#include "util/thread_pool.hpp"
 
 namespace nshd::nn {
 
@@ -12,35 +15,25 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
   const std::int64_t out_h = (in_h - kernel_) / stride_ + 1;
   const std::int64_t out_w = (in_w - kernel_) / stride_ + 1;
   assert(out_h >= 1 && out_w >= 1);
+  if (training) cached_input_ = input;
 
   Tensor output(Shape{batch, channels, out_h, out_w});
-  if (training) {
-    cached_input_shape_ = input.shape();
-    cached_argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
-  }
-
   std::int64_t out_idx = 0;
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t c = 0; c < channels; ++c) {
       const float* plane = input.data() + (n * channels + c) * in_h * in_w;
-      const std::int64_t plane_base = (n * channels + c) * in_h * in_w;
       for (std::int64_t oh = 0; oh < out_h; ++oh) {
         for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
           float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
           for (std::int64_t kh = 0; kh < kernel_; ++kh) {
             const std::int64_t ih = oh * stride_ + kh;
             for (std::int64_t kw = 0; kw < kernel_; ++kw) {
               const std::int64_t iw = ow * stride_ + kw;
               const float v = plane[ih * in_w + iw];
-              if (v > best) {
-                best = v;
-                best_idx = ih * in_w + iw;
-              }
+              if (v > best) best = v;
             }
           }
           output[out_idx] = best;
-          if (training) cached_argmax_[static_cast<std::size_t>(out_idx)] = plane_base + best_idx;
         }
       }
     }
@@ -80,13 +73,74 @@ void MaxPool2d::forward_into(const TensorView& in, TensorView out,
   }
 }
 
+void MaxPool2d::backward_into(const TensorView& in, const TensorView& grad_out,
+                              TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  assert(in.shape().rank() == 4);
+  const std::int64_t batch = in.shape()[0], channels = in.shape()[1];
+  const std::int64_t in_h = in.shape()[2], in_w = in.shape()[3];
+  const std::int64_t out_h = (in_h - kernel_) / stride_ + 1;
+  const std::int64_t out_w = (in_w - kernel_) / stride_ + 1;
+  assert(grad_out.shape() == Shape({batch, channels, out_h, out_w}));
+  assert(grad_in.shape() == in.shape());
+
+  const float* src = in.data();
+  const float* gout = grad_out.data();
+  float* gin = grad_in.data();
+  const std::int64_t in_plane = in_h * in_w;
+  const std::int64_t out_plane = out_h * out_w;
+  // Samples are independent (every pooled window stays inside one plane), so
+  // chunking over the batch is bitwise thread-invariant: within a sample the
+  // scatter runs in the same flat (c, oh, ow) order as the serial pass.  The
+  // argmax is recomputed with the exact forward selection loop (first-max
+  // wins via `v > best`), which reproduces the cached-index behaviour.
+  util::parallel_for(0, batch, kTrainSampleGrain,
+                     [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n) {
+      float* gsample = gin + n * channels * in_plane;
+      std::memset(gsample, 0,
+                  static_cast<std::size_t>(channels * in_plane) * sizeof(float));
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float* plane = src + (n * channels + c) * in_plane;
+        const float* gsrc = gout + (n * channels + c) * out_plane;
+        float* gplane = gsample + c * in_plane;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_idx = 0;
+            for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+              const std::int64_t ih = oh * stride_ + kh;
+              for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                const std::int64_t iw = ow * stride_ + kw;
+                const float v = plane[ih * in_w + iw];
+                if (v > best) {
+                  best = v;
+                  best_idx = ih * in_w + iw;
+                }
+              }
+            }
+            gplane[best_idx] += gsrc[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  });
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
-  assert(!cached_argmax_.empty());
-  Tensor grad_input(cached_input_shape_);
-  const float* gout = grad_output.data();
-  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
-    grad_input[cached_argmax_[static_cast<std::size_t>(i)]] += gout[i];
-  }
+  if (cached_input_.empty())
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
+  if (grad_output.shape() != output_shape(cached_input_.shape()))
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_.shape().to_string());
+  Tensor grad_input(cached_input_.shape());
+  Workspace& ws = legacy_train_workspace();
+  ws.reset();
+  backward_into(cached_input_.view(), grad_output.view(), grad_input.view(),
+                ws);
   return grad_input;
 }
 
@@ -132,10 +186,44 @@ void GlobalAvgPool::forward_into(const TensorView& in, TensorView out,
   }
 }
 
+void GlobalAvgPool::backward_into(const TensorView& in,
+                                  const TensorView& grad_out,
+                                  TensorView grad_in, Workspace& ws) {
+  (void)ws;
+  // Only in.shape() is read — the adjoint of a mean is data-independent.
+  assert(in.shape().rank() == 4);
+  const std::int64_t batch = in.shape()[0], channels = in.shape()[1];
+  const std::int64_t hw = in.shape()[2] * in.shape()[3];
+  assert(grad_out.shape() == Shape({batch, channels, 1, 1}));
+  assert(grad_in.shape() == in.shape());
+
+  const float* gout = grad_out.data();
+  float* gin = grad_in.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  // Pure writes, one plane per iteration: bitwise invariant under chunking.
+  util::parallel_for(0, batch * channels, kTrainSampleGrain,
+                     [&](std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t p = pb; p < pe; ++p) {
+      const float g = gout[p] * inv;
+      float* plane = gin + p * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  });
+}
+
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
-  assert(cached_input_shape_.rank() == 4);
+  // Caches only the input shape (the adjoint needs nothing else), so this
+  // wrapper runs the same data-independent fill as backward_into directly.
+  if (cached_input_shape_.rank() != 4)
+    throw TrainingStateError(name() +
+                             "::backward before forward(training=true)");
   const std::int64_t batch = cached_input_shape_[0];
   const std::int64_t channels = cached_input_shape_[1];
+  if (grad_output.shape() != Shape({batch, channels, 1, 1}))
+    throw TrainingStateError(name() + "::backward: grad_output shape " +
+                             grad_output.shape().to_string() +
+                             " does not match the cached batch " +
+                             cached_input_shape_.to_string());
   const std::int64_t hw = cached_input_shape_[2] * cached_input_shape_[3];
   Tensor grad_input(cached_input_shape_);
   const float inv = 1.0f / static_cast<float>(hw);

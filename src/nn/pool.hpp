@@ -16,6 +16,8 @@ class MaxPool2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kMaxPool; }
   std::string name() const override {
@@ -27,8 +29,10 @@ class MaxPool2d final : public Layer {
 
  private:
   std::int64_t kernel_, stride_;
-  Shape cached_input_shape_;
-  std::vector<std::int64_t> cached_argmax_;  // flat input index per output element
+  // Legacy-path cache: the input itself; backward_into recomputes the argmax
+  // selection from it (same loop as forward, so the scatter is bitwise equal
+  // to scattering through a cached index table).
+  Tensor cached_input_;
 };
 
 /// Global average pool: [N, C, H, W] -> [N, C, 1, 1].
@@ -38,6 +42,9 @@ class GlobalAvgPool final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_into(const TensorView& in, TensorView out,
                     Workspace& scratch) override;
+  /// Reads only in.shape(): the mean adjoint is data-independent.
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
   Shape output_shape(const Shape& input) const override;
   LayerKind kind() const override { return LayerKind::kAvgPool; }
   std::string name() const override { return "GlobalAvgPool"; }

@@ -121,6 +121,119 @@ Tensor Sequential::backward(const Tensor& grad_output) {
   return g;
 }
 
+void Sequential::forward_train_into(const TensorView& in, TensorView out,
+                                    Workspace& ws) {
+  tape_.clear();
+  tape_.push_back(in);
+  if (layers_.empty()) {
+    assert(out.numel() == in.numel());
+    if (out.data() != in.data() && in.numel() > 0) {
+      std::memcpy(out.data(), in.data(),
+                  static_cast<std::size_t>(in.numel()) * sizeof(float));
+    }
+    tape_.push_back(out);
+    tape_valid_ = true;
+    return;
+  }
+  // Every boundary activation gets its own pinned span (deliberately no
+  // Frame and no in-place reuse: backward_into needs each layer's exact
+  // input preserved).  The last layer writes straight into `out`.
+  Shape s = in.shape();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    s = layers_[i]->output_shape(s);
+    TensorView target;
+    if (i + 1 == layers_.size()) {
+      assert(out.numel() == s.numel());
+      target = TensorView(out.data(), s);
+    } else {
+      target = ws.alloc_view(s);
+    }
+    layers_[i]->forward_train_into(tape_.back(), target, ws);
+    tape_.push_back(target);
+  }
+  tape_valid_ = true;
+}
+
+void Sequential::backward_into(const TensorView& in, const TensorView& grad_out,
+                               TensorView grad_in, Workspace& ws) {
+  if (!tape_valid_)
+    throw TrainingStateError(
+        "Sequential::backward_into before forward_train_into (or tape "
+        "already consumed)");
+  if (tape_.front().data() != in.data() || tape_.front().shape() != in.shape())
+    throw TrainingStateError(
+        "Sequential::backward_into: input does not match the training tape");
+  if (grad_out.shape() != tape_.back().shape())
+    throw TrainingStateError(
+        "Sequential::backward_into: grad_output shape " +
+        grad_out.shape().to_string() + " does not match the forward output " +
+        tape_.back().shape().to_string());
+  tape_valid_ = false;  // single-use: the slab walk clobbers nothing pinned,
+                        // but the tape's activations die with the next reset
+
+  if (layers_.empty()) {
+    assert(grad_in.numel() == grad_out.numel());
+    if (grad_in.data() != grad_out.data() && grad_out.numel() > 0) {
+      std::memcpy(grad_in.data(), grad_out.data(),
+                  static_cast<std::size_t>(grad_out.numel()) * sizeof(float));
+    }
+    return;
+  }
+
+  // Gradients ping-pong between two slabs sized at the largest internal
+  // boundary; the first layer writes straight into grad_in.  Layer-local
+  // scratch (chunk partials, col buffers) nests in per-layer Frames inside
+  // this one, so the pinned tape below stays untouched.
+  Workspace::Frame frame(ws);
+  std::int64_t max_inter = 0;
+  for (std::size_t i = 1; i + 1 < tape_.size(); ++i)
+    max_inter = std::max(max_inter, tape_[i].numel());
+  float* slabs[2] = {ws.alloc(max_inter), ws.alloc(max_inter)};
+
+  TensorView g = grad_out;
+  int cur_slab = -1;  // -1: still reading the caller's grad_out
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    TensorView target;
+    if (i == 0) {
+      target = TensorView(grad_in.data(), tape_[0].shape());
+    } else {
+      const int t = cur_slab == 0 ? 1 : 0;
+      target = TensorView(slabs[t], tape_[i].shape());
+      cur_slab = t;
+    }
+    layers_[i]->backward_into(tape_[i], g, target, ws);
+    g = target;
+  }
+}
+
+std::int64_t Sequential::train_pinned_floats(const Shape& input) const {
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  Shape s = input;
+  std::int64_t pinned = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    pinned += layers_[i]->train_pinned_floats(s);
+    s = layers_[i]->output_shape(s);
+    if (i + 1 < layers_.size()) pinned += s.numel() + align;
+  }
+  return pinned;
+}
+
+std::int64_t Sequential::train_scratch_floats(const Shape& input) const {
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  Shape s = input;
+  std::int64_t max_inter = 0, max_transient = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // A nested container's pins are already summed via train_pinned_floats;
+    // only its transient (frame-scoped) share competes for the max.
+    max_transient = std::max(max_transient,
+                             layers_[i]->train_scratch_floats(s) -
+                                 layers_[i]->train_pinned_floats(s));
+    s = layers_[i]->output_shape(s);
+    if (i + 1 < layers_.size()) max_inter = std::max(max_inter, s.numel());
+  }
+  return train_pinned_floats(input) + 2 * (max_inter + align) + max_transient;
+}
+
 std::vector<Param*> Sequential::params() {
   std::vector<Param*> all;
   for (auto& layer : layers_) {

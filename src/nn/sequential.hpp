@@ -46,6 +46,31 @@ class Sequential final : public Layer {
 
   Tensor backward(const Tensor& grad_output) override;
 
+  /// Training forward for the planned path: every boundary activation is
+  /// pinned in `ws` (no Frame — the buffers must survive until
+  /// backward_into) and recorded on an internal tape together with `in` and
+  /// `out`.  Call backward_into with the same `in` before the workspace is
+  /// reset; the tape is single-use.
+  void forward_train_into(const TensorView& in, TensorView out,
+                          Workspace& ws) override;
+
+  /// Reverse walk over the tape: gradients ping-pong between two slabs sized
+  /// at the largest internal boundary; layer i consumes the pinned activation
+  /// tape_[i].  Throws TrainingStateError when the tape is missing, already
+  /// consumed, or `in`/`grad_out` do not match it.
+  void backward_into(const TensorView& in, const TensorView& grad_out,
+                     TensorView grad_in, Workspace& ws) override;
+
+  /// Floats forward_train_into + backward_into draw from the workspace:
+  /// all pinned boundaries (own tape plus every nested container's, summed
+  /// via train_pinned_floats — sibling blocks hold their pins at once), two
+  /// gradient slabs, plus the largest per-layer transient scratch.
+  std::int64_t train_scratch_floats(const Shape& input) const override;
+
+  /// Internal boundary activations pinned from forward_train_into until
+  /// backward_into, including nested containers' tapes.
+  std::int64_t train_pinned_floats(const Shape& input) const override;
+
   std::vector<Param*> params() override;
   Shape output_shape(const Shape& input) const override;
 
@@ -67,6 +92,11 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Training tape: views of the input, every internal boundary activation
+  // (pinned in the caller's workspace) and the output of the last
+  // forward_train_into.  Valid until consumed by backward_into.
+  std::vector<TensorView> tape_;
+  bool tape_valid_ = false;
 };
 
 }  // namespace nshd::nn

@@ -1,0 +1,75 @@
+#include "nn/train_plan.hpp"
+
+#include <limits>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace nshd::nn {
+
+TrainingPlan::TrainingPlan(Sequential& net, Shape sample_chw,
+                           std::int64_t max_batch)
+    : net_(&net), sample_chw_(sample_chw), max_batch_(max_batch) {
+  if (sample_chw_.rank() != 3)
+    throw TrainingStateError("TrainingPlan: sample shape must be CHW, got " +
+                             sample_chw_.to_string());
+  if (max_batch_ < 1)
+    throw TrainingStateError("TrainingPlan: max_batch must be >= 1, got " +
+                             std::to_string(max_batch_));
+  const Shape batched{max_batch_, sample_chw_[0], sample_chw_[1],
+                      sample_chw_[2]};
+  const Shape out = net_->output_shape(batched);
+  if (out.rank() != 2 || out[0] != max_batch_)
+    throw TrainingStateError(
+        "TrainingPlan: net must produce [N, classes] logits, got " +
+        out.to_string());
+  classes_ = out[1];
+
+  // One budget for the whole step: the net's own training scratch (pinned
+  // tape + gradient slabs + layer scratch) plus the three buffers the plan
+  // itself pins — logits, logit grads, and the input gradient sink.
+  const auto align = static_cast<std::int64_t>(Workspace::kAlignFloats);
+  const std::int64_t planned =
+      net_->train_scratch_floats(batched) +
+      2 * (max_batch_ * classes_ + align) + (batched.numel() + align);
+  planned_floats_ = static_cast<std::size_t>(planned);
+  ws_.reserve(planned_floats_);
+}
+
+TrainStepStats TrainingPlan::step(const TensorView& images,
+                                  const std::vector<std::int64_t>& labels) {
+  if (images.shape().rank() != 4 || images.shape()[1] != sample_chw_[0] ||
+      images.shape()[2] != sample_chw_[1] ||
+      images.shape()[3] != sample_chw_[2])
+    throw TrainingStateError("TrainingPlan::step: images shape " +
+                             images.shape().to_string() +
+                             " does not match the planned sample shape " +
+                             sample_chw_.to_string());
+  const std::int64_t batch = images.shape()[0];
+  if (batch < 1)
+    throw TrainingStateError("TrainingPlan::step: empty batch");
+  if (static_cast<std::int64_t>(labels.size()) != batch)
+    throw TrainingStateError(
+        "TrainingPlan::step: " + std::to_string(labels.size()) +
+        " labels for a batch of " + std::to_string(batch));
+
+  // The arena is recycled wholesale between steps; everything below —
+  // logits, the training tape pinned by forward_train_into, the logit
+  // gradient, and the input-gradient sink — lives in it.
+  ws_.reset();
+  TensorView logits = ws_.alloc_view(Shape{batch, classes_});
+  net_->forward_train_into(images, logits, ws_);
+
+  TensorView grad = ws_.alloc_view(Shape{batch, classes_});
+  const LossStats stats = softmax_cross_entropy_into(logits, labels, grad);
+
+  if (util::fault::should_fire("train.grad_nan"))
+    grad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+
+  TensorView grad_in = ws_.alloc_view(images.shape());
+  net_->backward_into(images, grad, grad_in, ws_);
+
+  return TrainStepStats{stats.loss, stats.correct};
+}
+
+}  // namespace nshd::nn

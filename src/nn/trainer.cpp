@@ -1,11 +1,15 @@
 #include "nn/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 
+#include "data/pipeline.hpp"
 #include "nn/plan.hpp"
+#include "nn/train_plan.hpp"
 #include "tensor/ops.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -96,7 +100,21 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
   util::Rng rng(config.seed);
   Sgd optimizer(model.params(), config.learning_rate, config.momentum,
                 config.weight_decay);
-  data::BatchIterator batches(train, config.batch_size, rng);
+  // Batch assembly overlaps the training step through the prefetch pipeline;
+  // its batch stream is bitwise identical to the legacy BatchIterator at
+  // every depth (0 = synchronous).
+  const int prefetch =
+      config.prefetch_depth >= 0
+          ? std::min(config.prefetch_depth, data::kMaxPrefetchDepth)
+          : data::prefetch_depth_from_env();
+  data::BatchPipeline batches(train, config.batch_size, rng, prefetch);
+
+  // The planned path runs the whole step — training forward, fused
+  // softmax-CE, backward — out of one preplanned workspace with zero heap
+  // traffic; results are bitwise identical to the legacy loop below.
+  std::optional<TrainingPlan> plan;
+  if (config.planned && train.size() > 0)
+    plan.emplace(model, train.sample_shape(), config.batch_size);
 
   std::vector<tensor::Tensor*> model_state;
   model.append_state(model_state);
@@ -145,7 +163,7 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
   while (epoch < config.epochs) {
     util::Stopwatch watch;
     batches.reset();
-    tensor::Tensor images;
+    tensor::TensorView images;
     std::vector<std::int64_t> labels;
     double loss_sum = 0.0;
     std::int64_t correct = 0, seen = 0, batch_count = 0;
@@ -159,15 +177,26 @@ TrainReport train_classifier(Sequential& model, const data::Dataset& train,
                             0.5f * (1.0f + static_cast<float>(std::cos(progress * 3.14159265))));
       optimizer.set_learning_rate(lr);
 
-      tensor::Tensor logits = model.forward(images, /*training=*/true);
-      LossResult loss = softmax_cross_entropy(logits, labels);
+      double batch_loss = 0.0;
+      std::int64_t batch_correct = 0;
+      if (plan.has_value()) {
+        const TrainStepStats stats = plan->step(images, labels);
+        batch_loss = stats.loss;
+        batch_correct = stats.correct;
+      } else {
+        tensor::Tensor batch = tensor::Tensor::from_view(images);
+        tensor::Tensor logits = model.forward(batch, /*training=*/true);
+        LossResult loss = softmax_cross_entropy(logits, labels);
+        batch_loss = loss.loss;
+        batch_correct = loss.correct;
+        model.backward(loss.grad_logits);
+      }
       if (util::fault::should_fire("trainer.nan_loss"))
-        loss.loss = std::numeric_limits<double>::quiet_NaN();
-      model.backward(loss.grad_logits);
+        batch_loss = std::numeric_limits<double>::quiet_NaN();
       optimizer.step();
 
-      loss_sum += loss.loss;
-      correct += loss.correct;
+      loss_sum += batch_loss;
+      correct += batch_correct;
       seen += static_cast<std::int64_t>(labels.size());
       ++batch_count;
       ++step;

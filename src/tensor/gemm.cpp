@@ -139,31 +139,6 @@ inline void bt_dispatch_cols(std::int64_t cols, const float* a, std::int64_t lda
   }
 }
 
-/// ROWS x NR register tile for the AT form: per k step, broadcast
-/// A[p, i..i+ROWS) (contiguous) against two B vectors.
-template <int ROWS>
-inline void at_tile(const float* a, const float* b, std::int64_t m, std::int64_t n,
-                    std::int64_t k, std::int64_t i0, std::int64_t j0, float* tile) {
-  VF acc[ROWS][NRV];
-  for (int r = 0; r < ROWS; ++r)
-    for (int v = 0; v < NRV; ++v) acc[r][v] = simd::vzero();
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* bp = b + p * n + j0;
-    const VF b0 = simd::vload(bp);
-    const VF b1 = simd::vload(bp + kWidth);
-    const float* ap = a + p * m + i0;
-    for (int r = 0; r < ROWS; ++r) {
-      const VF ar = simd::vset1(ap[r]);
-      acc[r][0] = simd::vfmadd(ar, b0, acc[r][0]);
-      acc[r][1] = simd::vfmadd(ar, b1, acc[r][1]);
-    }
-  }
-  for (int r = 0; r < ROWS; ++r) {
-    simd::vstore(tile + r * NR, acc[r][0]);
-    simd::vstore(tile + r * NR + kWidth, acc[r][1]);
-  }
-}
-
 /// Multi-accumulator vector dot with a fixed reduction schedule: four
 /// independent chains over 4*kWidth-wide strips, then one chain over
 /// kWidth strips, pairwise-combined hsum, scalar tail.
@@ -183,16 +158,37 @@ inline float dot_kernel(const float* a, const float* b, std::int64_t n) {
   return s;
 }
 
-}  // namespace
-
-void gemm(const float* a, const float* b, float* c, std::int64_t m,
-          std::int64_t k, std::int64_t n, bool accumulate) {
-  if (m == 0 || n == 0) return;
-  Workspace& ws = tl_pack_ws;
-  Workspace::Frame frame(ws);
+/// Transpose-packs row-major B[N,K] into the same NR-wide column panels
+/// pack_b_panels produces for B^T[K,N]: panel jp interleaves rows
+/// j0..j0+cols of B at each k step, zero-padded past column N.  Reads are
+/// unit-stride per source row and the write scatter stays inside a
+/// kPBlock*NR*4-byte window, so the pack runs at copy speed.
+void pack_bt_panels(const float* b, float* packed, std::int64_t k, std::int64_t n) {
   const std::int64_t panels = (n + NR - 1) / NR;
-  float* packed = ws.alloc(panels * k * NR);
-  pack_b_panels(b, packed, k, n);
+  constexpr std::int64_t kPBlock = 128;
+  util::parallel_for(0, panels, 1, [=](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t jp = q0; jp < q1; ++jp) {
+      const std::int64_t j0 = jp * NR;
+      const std::int64_t cols = std::min<std::int64_t>(NR, n - j0);
+      float* dst = packed + jp * k * NR;
+      for (std::int64_t p0 = 0; p0 < k; p0 += kPBlock) {
+        const std::int64_t p1 = std::min<std::int64_t>(k, p0 + kPBlock);
+        for (std::int64_t jj = 0; jj < cols; ++jj) {
+          const float* src = b + (j0 + jj) * k;
+          for (std::int64_t p = p0; p < p1; ++p) dst[p * NR + jj] = src[p];
+        }
+        for (std::int64_t jj = cols; jj < NR; ++jj)
+          for (std::int64_t p = p0; p < p1; ++p) dst[p * NR + jj] = 0.0f;
+      }
+    }
+  });
+}
+
+/// Row loop shared by gemm and gemm_bt_packed once B is in panel form.
+void gemm_packed_rows(const float* a, const float* packed, float* c,
+                      std::int64_t m, std::int64_t k, std::int64_t n,
+                      bool accumulate) {
+  const std::int64_t panels = (n + NR - 1) / NR;
   util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
     alignas(64) float tile[MR * NR];
     for (std::int64_t jp = 0; jp < panels; ++jp) {
@@ -210,6 +206,30 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
       }
     }
   });
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  Workspace& ws = tl_pack_ws;
+  Workspace::Frame frame(ws);
+  const std::int64_t panels = (n + NR - 1) / NR;
+  float* packed = ws.alloc(panels * k * NR);
+  pack_b_panels(b, packed, k, n);
+  gemm_packed_rows(a, packed, c, m, k, n, accumulate);
+}
+
+void gemm_bt_packed(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  Workspace& ws = tl_pack_ws;
+  Workspace::Frame frame(ws);
+  const std::int64_t panels = (n + NR - 1) / NR;
+  float* packed = ws.alloc(panels * k * NR);
+  pack_bt_panels(b, packed, k, n);
+  gemm_packed_rows(a, packed, c, m, k, n, accumulate);
 }
 
 void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
@@ -231,39 +251,26 @@ void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
 
 void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate) {
-  // C[i,j] = sum_p A[p,i] * B[p,j].  Each chunk owns a row range of C; the
-  // tile accumulators walk p in full order, so per-element accumulation
-  // order is chunk-independent.
-  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-    alignas(64) float tile[MR * NR];
-    const std::int64_t jv = (n / NR) * NR;  // columns covered by full tiles
-    for (std::int64_t i = r0; i < r1; i += MR) {
-      const int rows = static_cast<int>(std::min<std::int64_t>(MR, r1 - i));
-      for (std::int64_t j0 = 0; j0 < jv; j0 += NR) {
-        switch (rows) {
-          case 4: at_tile<4>(a, b, m, n, k, i, j0, tile); break;
-          case 3: at_tile<3>(a, b, m, n, k, i, j0, tile); break;
-          case 2: at_tile<2>(a, b, m, n, k, i, j0, tile); break;
-          default: at_tile<1>(a, b, m, n, k, i, j0, tile); break;
-        }
-        switch (rows) {
-          case 4: store_tile<4>(tile, c + i * n + j0, n, NR, accumulate); break;
-          case 3: store_tile<3>(tile, c + i * n + j0, n, NR, accumulate); break;
-          case 2: store_tile<2>(tile, c + i * n + j0, n, NR, accumulate); break;
-          default: store_tile<1>(tile, c + i * n + j0, n, NR, accumulate); break;
-        }
-      }
-      // Scalar column tail (vector loads would run past row ends of B).
-      for (int r = 0; r < rows; ++r) {
-        for (std::int64_t j = jv; j < n; ++j) {
-          float s = 0.0f;
-          for (std::int64_t p = 0; p < k; ++p) s += a[p * m + i + r] * b[p * n + j];
-          float* o = c + (i + r) * n + j;
-          *o = accumulate ? *o + s : s;
-        }
-      }
+  // C[i,j] = sum_p A[p,i] * B[p,j].  Walking A column-wise in the micro
+  // kernel costs a strided scalar load per FMA, and B is re-streamed
+  // unpacked for every row group — so instead transpose A once (cheap:
+  // k*m floats vs the k*m*n FLOP gemm) and run the packed gemm kernel.
+  // Per element the accumulation is the same p = 0..k FMA chain either
+  // way, so the result is unchanged.
+  if (m == 0 || n == 0) return;
+  Workspace& ws = tl_pack_ws;
+  Workspace::Frame frame(ws);
+  float* at = ws.alloc(m * k);
+  constexpr std::int64_t kBlock = 64;  // cache-blocked transpose
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
+    const std::int64_t p1 = std::min<std::int64_t>(k, p0 + kBlock);
+    for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+      const std::int64_t i1 = std::min<std::int64_t>(m, i0 + kBlock);
+      for (std::int64_t p = p0; p < p1; ++p)
+        for (std::int64_t i = i0; i < i1; ++i) at[i * k + p] = a[p * m + i];
     }
-  });
+  }
+  gemm(at, b, c, m, k, n, accumulate);
 }
 
 void gemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n) {

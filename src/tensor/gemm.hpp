@@ -26,6 +26,16 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
 void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate = false);
 
+/// Same contract as gemm_bt, but transpose-packs B into the `gemm` panel
+/// format and runs the register-tiled micro-kernel — roughly 2x faster when
+/// K is large (the dW = dOut * col^T shape in conv/linear backward).  The
+/// per-element reduction order differs from gemm_bt's (sequential K chain
+/// instead of lane-split + hsum), though it is still fixed and
+/// NSHD_THREADS-invariant; use only where bitwise compatibility with
+/// gemm_bt outputs is not required (gradient accumulation).
+void gemm_bt_packed(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, bool accumulate = false);
+
 /// C[M,N] = A[K,M]^T * B[K,N] (+ C if accumulate).
 void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, bool accumulate = false);

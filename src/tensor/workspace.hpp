@@ -1,4 +1,4 @@
-// Bump/arena allocator for the planned inference path.
+// Bump/arena allocator for the planned inference and training paths.
 //
 // A Workspace hands out 64-byte-aligned float spans with no per-allocation
 // bookkeeping; the whole arena rewinds in O(1) via reset() (between batches)
@@ -7,6 +7,13 @@
 // reallocating, so spans handed out earlier in a forward pass stay valid
 // even when an estimate was low.  Peak usage is tracked in floats so plans
 // can report their true high-water memory.
+//
+// Backing blocks are recycled through a process-level pool: a destroyed
+// Workspace parks its blocks instead of freeing them, and the next arena
+// that asks for a compatible size reuses the already-faulted pages.  A
+// training plan's arena can run to ~hundreds of MiB, so rebuilding a plan
+// (live reload, kill/resume, repeated benchmark reps) would otherwise pay
+// the kernel page-fault cost of first-touching that memory every time.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,7 @@ class Workspace {
 
   Workspace() = default;
   explicit Workspace(std::size_t initial_floats) { reserve(initial_floats); }
+  ~Workspace();
 
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
@@ -53,6 +61,14 @@ class Workspace {
   std::size_t capacity_floats() const;
   std::size_t capacity_bytes() const { return capacity_floats() * sizeof(float); }
 
+  /// Number of blocks currently parked in the process-level recycle pool
+  /// and their total capacity in floats (testing/diagnostics).
+  static std::size_t pooled_blocks();
+  static std::size_t pooled_floats();
+  /// Frees every parked block (testing; also bounds RSS after a burst of
+  /// large plans has been torn down for good).
+  static void trim_pool();
+
   /// Scoped rewind point: allocations made after construction are released
   /// when the Frame leaves scope.  Frames must nest (stack order).
   class Frame {
@@ -78,7 +94,12 @@ class Workspace {
   };
   struct Block {
     std::unique_ptr<float[], FreeDeleter> data;
-    std::size_t capacity = 0;  // floats
+    // Usable capacity is what this arena asked for, even when the recycled
+    // backing allocation is bigger — capacity_floats() must depend only on
+    // the arena's own growth history (plan lease pools classify leases by
+    // it), never on what happened to be parked in the recycle pool.
+    std::size_t capacity = 0;        // usable floats
+    std::size_t alloc_capacity = 0;  // true allocation size, re-parked as-is
   };
 
   void add_block(std::size_t floats);

@@ -107,6 +107,7 @@ const std::vector<std::string>& known_sites() {
       "checkpoint.torn_write",  "pretrain.kill",
       "serve.batch_stall",      "serve.nan_logits",
       "serve.reload_corrupt",   "serve.worker_throw",
+      "train.grad_nan",         "train.prefetch_stall",
       "trainer.nan_loss",
   };
   return sites;

@@ -24,6 +24,8 @@
 //   serve.batch_stall       serve::Engine batch execution stalls (slow batch)
 //   serve.nan_logits        serve::Engine similarity output row turns NaN
 //   serve.reload_corrupt    serve::Engine reload state blob corrupts in memory
+//   train.grad_nan          TrainingPlan poisons the logit gradient with NaN
+//   train.prefetch_stall    data::BatchPipeline batch fill stalls (slow producer)
 //
 // Every site name must be listed in known_sites(); the chaos-labeled
 // registry test (tests/fault_registry_test.cpp) asserts that the list and

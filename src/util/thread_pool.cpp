@@ -27,7 +27,8 @@ int env_thread_count() {
 
 }  // namespace
 
-int parse_thread_count(const char* text, int fallback) {
+int parse_env_count(const char* name, const char* text, int min_value,
+                    int max_value, int fallback) {
   if (text == nullptr || *text == '\0') return fallback;
   char* endptr = nullptr;
   const long parsed = std::strtol(text, &endptr, 10);
@@ -35,21 +36,24 @@ int parse_thread_count(const char* text, int fallback) {
   // was not a plain integer ("8x", "fast", "3.5") and must not half-parse.
   while (endptr != nullptr && std::isspace(static_cast<unsigned char>(*endptr))) ++endptr;
   if (endptr == text || endptr == nullptr || *endptr != '\0') {
-    NSHD_LOG_WARN("NSHD_THREADS=\"%s\" is not an integer; using %d threads", text,
-                  fallback);
+    NSHD_LOG_WARN("%s=\"%s\" is not an integer; using %d", name, text, fallback);
     return fallback;
   }
-  if (parsed < 1) {
-    NSHD_LOG_WARN("NSHD_THREADS=%ld is out of range (must be >= 1); using %d threads",
-                  parsed, fallback);
+  if (parsed < min_value) {
+    NSHD_LOG_WARN("%s=%ld is out of range (must be >= %d); using %d", name,
+                  parsed, min_value, fallback);
     return fallback;
   }
-  if (parsed > kMaxThreads) {
-    NSHD_LOG_WARN("NSHD_THREADS=%ld exceeds the cap of %d; clamping", parsed,
-                  kMaxThreads);
-    return kMaxThreads;
+  if (parsed > max_value) {
+    NSHD_LOG_WARN("%s=%ld exceeds the cap of %d; clamping", name, parsed,
+                  max_value);
+    return max_value;
   }
   return static_cast<int>(parsed);
+}
+
+int parse_thread_count(const char* text, int fallback) {
+  return parse_env_count("NSHD_THREADS", text, 1, kMaxThreads, fallback);
 }
 
 // One parallel_for invocation.  Heap-allocated and shared so a worker that

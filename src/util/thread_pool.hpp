@@ -27,10 +27,16 @@ namespace nshd::util {
 /// Upper bound on the pool size accepted from NSHD_THREADS.
 inline constexpr int kMaxThreads = 256;
 
-/// Parses an NSHD_THREADS-style value.  Returns `fallback` (with a warning
-/// through util::log) when `text` is not a plain integer or is < 1, and
-/// clamps values above kMaxThreads.  Trailing garbage ("8x") is rejected
-/// outright instead of half-parsing.  Exposed for unit tests.
+/// Strict parser for integer environment knobs (NSHD_THREADS,
+/// NSHD_PREFETCH, ...).  Returns `fallback` (with a warning through
+/// util::log naming `name`) when `text` is not a plain integer or is below
+/// `min_value`, and clamps values above `max_value`.  Trailing garbage
+/// ("8x") is rejected outright instead of half-parsing.
+int parse_env_count(const char* name, const char* text, int min_value,
+                    int max_value, int fallback);
+
+/// Parses an NSHD_THREADS-style value: parse_env_count over [1, kMaxThreads].
+/// Exposed for unit tests.
 int parse_thread_count(const char* text, int fallback);
 
 /// Number of fixed chunks parallel_for splits [begin, end) into; depends

@@ -94,6 +94,30 @@ TEST(Workspace, ReserveGrowsCapacityOnly) {
   EXPECT_EQ(ws.peak_floats(), 0u);
 }
 
+TEST(Workspace, DestroyedArenaBlocksAreRecycled) {
+  Workspace::trim_pool();
+  float* first = nullptr;
+  std::size_t capacity = 0;
+  {
+    Workspace ws(1 << 20);
+    first = ws.alloc(64);
+    capacity = ws.capacity_floats();
+  }
+  // The dead arena's block is parked, not freed...
+  EXPECT_EQ(Workspace::pooled_blocks(), 1u);
+  EXPECT_EQ(Workspace::pooled_floats(), capacity);
+  {
+    // ...and the next arena of a compatible size reuses the same pages.
+    Workspace ws(1 << 20);
+    EXPECT_EQ(ws.alloc(64), first);
+    EXPECT_EQ(Workspace::pooled_blocks(), 0u);
+  }
+  EXPECT_EQ(Workspace::pooled_blocks(), 1u);
+  Workspace::trim_pool();
+  EXPECT_EQ(Workspace::pooled_blocks(), 0u);
+  EXPECT_EQ(Workspace::pooled_floats(), 0u);
+}
+
 // --- Parity helpers ---
 
 void expect_bitwise_equal(const Tensor& planned, const Tensor& legacy,
