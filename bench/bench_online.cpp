@@ -1,0 +1,317 @@
+// Streaming online learning: accuracy-over-time under drift, and the price
+// of concurrent updates on the read path.
+//
+// Two questions, two harnesses:
+//
+//   accuracy-over-time   For each drift mode (none / label-noise / shift /
+//                        novel-class) a DriftStream feeds chunks through the
+//                        NSHD encoder into a hd::VersionedBank.  Evaluation
+//                        is prequential (test-then-train): each chunk is
+//                        first scored against the *published* bank with the
+//                        chunk's clean labels, then submitted as a MASS
+//                        update with the labels the learner actually sees
+//                        (corrupted ones under label noise).  Novel classes
+//                        trigger add_class() on first sight.  The guard
+//                        holdout is the stationary test split, so collapsing
+//                        updates (late label-noise chunks) roll back and are
+//                        counted rather than served.
+//
+//   reader QPS           N reader threads hammer batched similarities off
+//                        bank.snapshot() for a fixed duration, once with the
+//                        writer quiesced and once with a writer publishing
+//                        MASS updates as fast as it can.  The ratio is the
+//                        cost of updates-in-flight on the zero-lock read
+//                        path (ideally ~1.0: readers never block on
+//                        writers).
+//
+// Results land on stdout as tables and in BENCH_online.json.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/feature_extractor.hpp"
+#include "core/nshd.hpp"
+#include "data/drift_stream.hpp"
+#include "data/synth_cifar.hpp"
+#include "hd/versioned_bank.hpp"
+#include "models/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nshd;
+
+constexpr std::int64_t kBaseClasses = 4;
+constexpr std::uint64_t kModelSeed = 7;
+
+struct StepPoint {
+  std::int64_t step = 0;
+  double accuracy = 0.0;   // prequential, against clean labels
+  float label_noise = 0.0f;
+  float drift01 = 0.0f;
+  std::uint64_t rollbacks = 0;  // cumulative through this step
+};
+
+struct ModeRun {
+  std::string mode;
+  std::vector<StepPoint> points;
+  std::uint64_t updates_ok = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t classes_added = 0;
+};
+
+/// Symbolizes a chunk through the trained encoder (extractor + manifold +
+/// projection); the bank then learns purely in hypervector space.
+std::vector<hd::Hypervector> symbolize(core::NshdModel& nshd,
+                                       models::ZooModel& zoo, std::size_t cut,
+                                       const data::Dataset& ds) {
+  const core::ExtractedFeatures features =
+      core::extract_features(zoo, cut, ds, /*batch_size=*/32);
+  return nshd.symbolize_all(features);
+}
+
+ModeRun run_stream(data::DriftMode mode, core::NshdModel& nshd,
+                   models::ZooModel& zoo, std::size_t cut,
+                   const hd::UpdateGuard& guard, std::int64_t steps,
+                   std::int64_t chunk_size) {
+  data::DriftStreamConfig stream_config;
+  stream_config.base.num_classes = kBaseClasses;
+  stream_config.mode = mode;
+  stream_config.steps = steps;
+  stream_config.chunk_size = chunk_size;
+  stream_config.novel_classes = 2;
+  stream_config.novel_class_at = steps / 2;
+  const data::DriftStream stream(stream_config);
+
+  hd::VersionedBank bank(nshd.classifier());
+  bank.set_guard(guard);
+  hd::MassConfig mass;
+  mass.learning_rate = 0.02f;
+
+  ModeRun run;
+  run.mode = data::to_string(mode);
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const data::DriftChunk chunk = stream.chunk(step);
+    const std::vector<hd::Hypervector> queries =
+        symbolize(nshd, zoo, cut, chunk.data);
+
+    // Test (prequential): published bank vs the chunk's clean labels.
+    // Unseen novel classes simply score as errors until add_class runs.
+    const std::vector<std::int64_t> predicted =
+        bank.snapshot()->bank.predict_all(queries);
+    std::int64_t correct = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+      if (predicted[i] == chunk.clean_labels[i]) ++correct;
+
+    // Then train: grow the bank for any first-seen class (one-shot bundle
+    // of that class's chunk samples), then one gated MASS epoch.
+    for (std::int64_t label = bank.num_classes();
+         label < chunk.data.num_classes; ++label) {
+      std::vector<hd::Hypervector> shots;
+      for (std::size_t i = 0; i < queries.size(); ++i)
+        if (chunk.data.labels[i] == label) shots.push_back(queries[i]);
+      if (shots.empty()) continue;
+      if (bank.add_class(shots) == hd::UpdateStatus::kOk) {
+        ++run.classes_added;
+        ++run.updates_ok;
+      }
+    }
+    const hd::UpdateStatus status =
+        bank.mass_epoch(queries, chunk.data.labels, mass);
+    if (status == hd::UpdateStatus::kOk)
+      ++run.updates_ok;
+    else if (status != hd::UpdateStatus::kBadArgs)
+      ++run.rollbacks;
+
+    StepPoint point;
+    point.step = step;
+    point.accuracy = static_cast<double>(correct) /
+                     static_cast<double>(predicted.size());
+    point.label_noise = chunk.label_noise;
+    point.drift01 = chunk.drift01;
+    point.rollbacks = run.rollbacks;
+    run.points.push_back(point);
+  }
+  return run;
+}
+
+struct QpsResult {
+  double quiesced_qps = 0.0;
+  double inflight_qps = 0.0;
+  std::uint64_t updates_published = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+/// `readers` threads loop batched similarities off the published snapshot
+/// for `seconds`; when `writer` is true, one writer concurrently publishes
+/// MASS updates as fast as it can.  Returns queries scored per second.
+double drive_readers(hd::VersionedBank& bank,
+                     const std::vector<hd::Hypervector>& queries,
+                     const std::vector<std::int64_t>& labels, int readers,
+                     double seconds, bool writer, QpsResult* result) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scored{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const hd::VersionedBank::Snapshot snap = bank.snapshot();
+        (void)snap->bank.similarities_all(queries);
+        scored.fetch_add(queries.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread writer_thread;
+  if (writer) {
+    writer_thread = std::thread([&] {
+      hd::MassConfig mass;
+      mass.learning_rate = 0.005f;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (bank.mass_epoch(queries, labels, mass) == hd::UpdateStatus::kOk)
+          ++result->updates_published;
+        else
+          ++result->rollbacks;
+      }
+    });
+  }
+  util::Stopwatch watch;
+  while (watch.seconds() < seconds)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  for (std::thread& thread : threads) thread.join();
+  if (writer_thread.joinable()) writer_thread.join();
+  return static_cast<double>(scored.load()) / watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::int64_t steps = args.get_int("steps", 10);
+  const std::int64_t chunk_size = args.get_int("chunk", 48);
+  const int readers = args.get_int("readers", 4);
+  const double seconds = args.get_int("duration_ms", 800) / 1000.0;
+  const std::string json_path = args.get("json", "BENCH_online.json");
+  const std::string model_name = args.get("model", "mobilenetv2s");
+
+  // One trained NSHD deployment shared by every mode: the streams all start
+  // from the same stationary base distribution.
+  models::ZooModel zoo = models::make_model(model_name, kBaseClasses, kModelSeed);
+  const std::size_t cut = 4;
+  core::NshdConfig nshd_config;
+  nshd_config.dim = 512;
+  nshd_config.manifold_features = 32;
+  nshd_config.epochs = 6;
+  nshd_config.use_kd = false;
+  nshd_config.train_manifold = false;
+  core::NshdModel nshd(zoo, cut, nshd_config);
+
+  data::SynthCifarConfig base;
+  base.num_classes = kBaseClasses;
+  base.samples_per_class = 40;
+  const data::TrainTest split = data::make_synth_cifar_split(base, 12);
+  {
+    const core::ExtractedFeatures features =
+        core::extract_features(zoo, cut, split.train, 32);
+    nshd.train(features, split.train.labels, /*teacher_logits=*/nullptr);
+  }
+
+  // Guard holdout: the stationary test split in encoder space.  Collapsing
+  // updates (heavy label noise) roll back against this reference.
+  hd::UpdateGuard guard;
+  guard.holdout = symbolize(nshd, zoo, cut, split.test);
+  guard.holdout_labels = split.test.labels;
+  guard.max_accuracy_drop = 0.20;
+
+  const data::DriftMode modes[] = {
+      data::DriftMode::kNone, data::DriftMode::kLabelNoise,
+      data::DriftMode::kShift, data::DriftMode::kNovelClass};
+  std::vector<ModeRun> runs;
+  util::Table table({"mode", "step", "accuracy", "label noise", "drift",
+                     "rollbacks"});
+  for (const data::DriftMode mode : modes) {
+    runs.push_back(run_stream(mode, nshd, zoo, cut, guard, steps, chunk_size));
+    for (const StepPoint& point : runs.back().points) {
+      table.add_row({runs.back().mode, util::cell(static_cast<int>(point.step)),
+                     util::cell(point.accuracy, 3),
+                     util::cell(static_cast<double>(point.label_noise), 2),
+                     util::cell(static_cast<double>(point.drift01), 2),
+                     util::cell(static_cast<int>(point.rollbacks))});
+    }
+  }
+  std::printf("\n== accuracy over time: %lld-step streams, chunk %lld ==\n%s",
+              static_cast<long long>(steps), static_cast<long long>(chunk_size),
+              table.to_string().c_str());
+
+  // Reader throughput: quiesced vs updates-in-flight, same bank and query
+  // batch.  The in-flight writer republishes the same chunk, so reader work
+  // per query is constant across both phases.
+  QpsResult qps;
+  hd::VersionedBank bank(nshd.classifier());
+  qps.quiesced_qps = drive_readers(bank, guard.holdout, guard.holdout_labels,
+                                   readers, seconds, /*writer=*/false, &qps);
+  qps.inflight_qps = drive_readers(bank, guard.holdout, guard.holdout_labels,
+                                   readers, seconds, /*writer=*/true, &qps);
+  const double ratio = qps.quiesced_qps > 0.0
+                           ? qps.inflight_qps / qps.quiesced_qps
+                           : 0.0;
+  std::printf(
+      "\n== reader QPS (%d readers, %.1fs per phase) ==\n"
+      "quiesced          %.0f queries/s\n"
+      "updates in flight %.0f queries/s (%.2fx, %llu versions published)\n",
+      readers, seconds, qps.quiesced_qps, qps.inflight_qps, ratio,
+      static_cast<unsigned long long>(qps.updates_published));
+
+  if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(out,
+                 "{\n  \"model\": \"%s\",\n  \"steps\": %lld,\n"
+                 "  \"chunk_size\": %lld,\n  \"accuracy_over_time\": [\n",
+                 model_name.c_str(), static_cast<long long>(steps),
+                 static_cast<long long>(chunk_size));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ModeRun& run = runs[i];
+      std::fprintf(out,
+                   "    {\"mode\": \"%s\", \"updates_ok\": %llu, "
+                   "\"rollbacks\": %llu, \"classes_added\": %llu, "
+                   "\"steps\": [\n",
+                   run.mode.c_str(),
+                   static_cast<unsigned long long>(run.updates_ok),
+                   static_cast<unsigned long long>(run.rollbacks),
+                   static_cast<unsigned long long>(run.classes_added));
+      for (std::size_t j = 0; j < run.points.size(); ++j) {
+        const StepPoint& point = run.points[j];
+        std::fprintf(out,
+                     "      {\"step\": %lld, \"accuracy\": %.4f, "
+                     "\"label_noise\": %.3f, \"drift\": %.3f, "
+                     "\"rollbacks\": %llu}%s\n",
+                     static_cast<long long>(point.step), point.accuracy,
+                     static_cast<double>(point.label_noise),
+                     static_cast<double>(point.drift01),
+                     static_cast<unsigned long long>(point.rollbacks),
+                     j + 1 < run.points.size() ? "," : "");
+      }
+      std::fprintf(out, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"reader_qps\": {\"readers\": %d, "
+                 "\"duration_s\": %.2f, \"quiesced_qps\": %.1f, "
+                 "\"inflight_qps\": %.1f, \"inflight_ratio\": %.3f, "
+                 "\"updates_published\": %llu, \"writer_rollbacks\": %llu}\n}\n",
+                 readers, seconds, qps.quiesced_qps, qps.inflight_qps, ratio,
+                 static_cast<unsigned long long>(qps.updates_published),
+                 static_cast<unsigned long long>(qps.rollbacks));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n",
+                 json_path.c_str());
+  }
+  return 0;
+}

@@ -1,17 +1,22 @@
-// Incremental (one-shot) class learning — the symbolic-memory advantage of
-// the HD side of NSHD.
+// Incremental (one-shot) class learning on the streaming online path — the
+// symbolic-memory advantage of the HD side of NSHD.
 //
-// A CNN must be retrained (or at least fine-tuned) to accept a new class;
-// an HD class bank just bundles the new class's sample hypervectors into a
+// A CNN must be retrained (or at least fine-tuned) to accept a new class; an
+// HD class bank just bundles the new class's sample hypervectors into a
 // fresh class vector.  This example trains NSHD on the first `base` classes
-// of SynthCIFAR-10, then adds the remaining classes one at a time with
-// add_class() — no gradient steps, no replay of old data — and tracks how
-// accuracy on old and new classes evolves.
+// of SynthCIFAR-10, seeds an hd::VersionedBank from the trained bank, and
+// then grows it class by class exactly the way a live deployment would:
+// every growth step is an add_class() publish followed by a guard-gated
+// consolidation epoch (verify-then-swap — a collapsing update would roll
+// back instead of serving).  Accuracy is tracked separately over the old
+// (trained) classes and the newly added ones, so interference of one-shot
+// growth with the existing memory is visible directly.
 //
 // Run: ./incremental_learning [--model=mobilenetv2s] [--cut=14] [--base=8]
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "hd/versioned_bank.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -32,97 +37,128 @@ int main(int argc, char** argv) {
   const core::ExtractedFeatures& test_feats = context.test_features(model_name, cut);
   const auto& train_labels = context.train().labels;
   const auto& test_labels = context.test().labels;
-  const std::int64_t f = train_feats.values.shape()[1];
 
-  // Train NSHD on the base classes only (subset of rows).
-  core::NshdConfig config;
-  config.dim = args.get_int("dim", 3000);
-  core::NshdModel nshd(m, cut, config);
-
-  // Build a base-only feature view.
-  core::ExtractedFeatures base_feats;
-  base_feats.chw = train_feats.chw;
-  base_feats.cut_layer = cut;
+  // Base-only training subset (rows whose label is a base class).
+  std::vector<std::int64_t> base_rows;
   std::vector<std::int64_t> base_labels;
-  {
-    std::vector<std::int64_t> keep;
-    for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
-      if (train_labels[static_cast<std::size_t>(i)] < base_classes) keep.push_back(i);
-    }
-    base_feats.values =
-        tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(keep.size()), f});
-    for (std::size_t r = 0; r < keep.size(); ++r) {
-      std::copy_n(train_feats.values.data() + keep[r] * f, f,
-                  base_feats.values.data() + static_cast<std::int64_t>(r) * f);
-      base_labels.push_back(train_labels[static_cast<std::size_t>(keep[r])]);
+  for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
+    if (train_labels[static_cast<std::size_t>(i)] < base_classes) {
+      base_rows.push_back(i);
+      base_labels.push_back(train_labels[static_cast<std::size_t>(i)]);
     }
   }
-  // Teacher logits restricted to base rows (KD teacher still has 10 outputs;
-  // only the rows matter).
+  const core::ExtractedFeatures base_feats = train_feats.select_rows(base_rows);
+
+  // Teacher logits restricted to the same rows (KD teacher still has 10
+  // outputs; only the rows matter).
   tensor::Tensor base_logits;
   {
     const tensor::Tensor& all = context.teacher_train_logits(model_name);
     const std::int64_t k = all.shape()[1];
     base_logits = tensor::Tensor(
-        tensor::Shape{base_feats.values.shape()[0], k});
-    std::int64_t r = 0;
-    for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
-      if (train_labels[static_cast<std::size_t>(i)] < base_classes) {
-        std::copy_n(all.data() + i * k, k, base_logits.data() + r * k);
-        ++r;
-      }
-    }
+        tensor::Shape{static_cast<std::int64_t>(base_rows.size()), k});
+    for (std::size_t r = 0; r < base_rows.size(); ++r)
+      std::copy_n(all.data() + base_rows[r] * k, k,
+                  base_logits.data() + static_cast<std::int64_t>(r) * k);
   }
-  // The classifier bank covers all 10 outputs (teacher logits have 10), but
-  // only base-class rows are trained; the remaining vectors stay zero until
-  // add_class replaces the growth — here we instead demonstrate true growth
-  // on a standalone HdClassifier over NSHD's symbolization.
+
+  core::NshdConfig config;
+  config.dim = args.get_int("dim", 3000);
+  core::NshdModel nshd(m, cut, config);
   nshd.train(base_feats, base_labels, &base_logits);
 
-  // Rebuild a bank with exactly `base` classes from the trained encodings.
-  hd::HdClassifier bank(base_classes, config.dim);
+  // Encoder space, once: the stream below works purely on hypervectors.
+  const std::vector<hd::Hypervector> train_hvs = nshd.symbolize_all(train_feats);
+  const std::vector<hd::Hypervector> test_hvs = nshd.symbolize_all(test_feats);
+
+  // Bank with exactly `base` classes from the trained encodings.
+  hd::HdClassifier seed_bank(base_classes, config.dim);
   {
-    const auto hvs = nshd.symbolize_all(base_feats);
-    bank.bundle_init(hvs, base_labels);
+    std::vector<hd::Hypervector> base_hvs;
+    for (const std::int64_t row : base_rows)
+      base_hvs.push_back(train_hvs[static_cast<std::size_t>(row)]);
     hd::MassConfig mass;
     mass.epochs = 10;
+    seed_bank.bundle_init(base_hvs, base_labels);
     for (std::int64_t e = 0; e < mass.epochs; ++e)
-      bank.mass_epoch(hvs, base_labels, mass);
+      seed_bank.mass_epoch(base_hvs, base_labels, mass);
   }
 
-  auto evaluate_range = [&](const hd::HdClassifier& clf, std::int64_t k_known) {
+  // The streaming path: a VersionedBank guarded by the base-class test
+  // split.  Every growth and consolidation below is a verify-then-swap
+  // publish; concurrent readers (none here, but the API is the same one the
+  // serving engine drives) would keep scoring the previous version.
+  hd::VersionedBank bank(seed_bank);
+  {
+    hd::UpdateGuard guard;
+    for (std::int64_t i = 0; i < test_feats.values.shape()[0]; ++i) {
+      const std::int64_t label = test_labels[static_cast<std::size_t>(i)];
+      if (label < base_classes) {
+        guard.holdout.push_back(test_hvs[static_cast<std::size_t>(i)]);
+        guard.holdout_labels.push_back(label);
+      }
+    }
+    guard.max_accuracy_drop = 0.10;
+    bank.set_guard(guard);
+  }
+
+  // Accuracy over test labels in [lo, hi) against the published version.
+  const auto evaluate_range = [&](std::int64_t lo, std::int64_t hi) {
+    const hd::VersionedBank::Snapshot snap = bank.snapshot();
     std::int64_t correct = 0, seen = 0;
     for (std::int64_t i = 0; i < test_feats.values.shape()[0]; ++i) {
       const std::int64_t label = test_labels[static_cast<std::size_t>(i)];
-      if (label >= k_known) continue;
-      const auto h = nshd.symbolize(test_feats.values.data() + i * f);
-      if (clf.predict(h) == label) ++correct;
+      if (label < lo || label >= hi) continue;
+      if (snap->bank.predict(test_hvs[static_cast<std::size_t>(i)]) == label)
+        ++correct;
       ++seen;
     }
     return seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
   };
 
-  util::Table table({"known classes", "accuracy over known test classes"});
+  util::Table table({"known classes", "old-class acc", "new-class acc",
+                     "version", "update"});
   table.add_row({util::cell(static_cast<int>(base_classes)) + " (trained)",
-                 util::cell(evaluate_range(bank, base_classes), 4)});
+                 util::cell(evaluate_range(0, base_classes), 4), "-",
+                 util::cell(static_cast<int>(bank.version())), "seed"});
 
-  // One-shot add the remaining classes, one at a time.
+  // One-shot add the remaining classes, one at a time, each followed by a
+  // gated consolidation epoch over everything seen so far.
+  std::uint64_t rollbacks = 0;
   for (std::int64_t new_class = base_classes; new_class < 10; ++new_class) {
     std::vector<hd::Hypervector> shots;
+    std::vector<hd::Hypervector> seen_hvs;
+    std::vector<std::int64_t> seen_labels;
     for (std::int64_t i = 0; i < train_feats.values.shape()[0]; ++i) {
-      if (train_labels[static_cast<std::size_t>(i)] == new_class) {
-        shots.push_back(nshd.symbolize(train_feats.values.data() + i * f));
+      const std::int64_t label = train_labels[static_cast<std::size_t>(i)];
+      if (label == new_class) shots.push_back(train_hvs[static_cast<std::size_t>(i)]);
+      if (label <= new_class) {
+        seen_hvs.push_back(train_hvs[static_cast<std::size_t>(i)]);
+        seen_labels.push_back(label);
       }
     }
-    bank.add_class(shots);
-    table.add_row({util::cell(static_cast<int>(new_class + 1)) + " (one-shot added)",
-                   util::cell(evaluate_range(bank, new_class + 1), 4)});
+    const hd::UpdateStatus grow = bank.add_class(shots);
+    hd::MassConfig consolidate;
+    consolidate.learning_rate = 0.01f;
+    const hd::UpdateStatus tune =
+        bank.mass_epoch(seen_hvs, seen_labels, consolidate);
+    if (tune != hd::UpdateStatus::kOk) ++rollbacks;
+
+    std::string update = std::string("grow:") + hd::to_string(grow) +
+                         " tune:" + hd::to_string(tune);
+    table.add_row({util::cell(static_cast<int>(new_class + 1)) + " (one-shot)",
+                   util::cell(evaluate_range(0, base_classes), 4),
+                   util::cell(evaluate_range(base_classes, new_class + 1), 4),
+                   util::cell(static_cast<int>(bank.version())), update});
   }
 
   std::printf("== Incremental class learning: %s layer %zu ==\n%s",
               models::display_name(model_name).c_str(), cut,
               table.to_string().c_str());
-  std::printf("New classes joined by bundling alone — no retraining, no "
-              "replay of old data (classic HD capability).\n");
+  std::printf(
+      "New classes joined by one-shot bundling through the versioned online\n"
+      "path — no retraining, no replay of old data; every publish was gated\n"
+      "on the base-class holdout (%llu consolidation rollback(s)).\n",
+      static_cast<unsigned long long>(rollbacks));
   return 0;
 }

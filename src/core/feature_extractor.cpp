@@ -39,6 +39,22 @@ ExtractedFeatures extract_features(nn::InferencePlan& plan,
   return out;
 }
 
+ExtractedFeatures ExtractedFeatures::select_rows(
+    const std::vector<std::int64_t>& rows) const {
+  const std::int64_t f = values.shape()[1];
+  ExtractedFeatures out;
+  out.chw = chw;
+  out.cut_layer = cut_layer;
+  out.values =
+      tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(rows.size()), f});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r] >= 0 && rows[r] < values.shape()[0]);
+    std::copy_n(values.data() + rows[r] * f, f,
+                out.values.data() + static_cast<std::int64_t>(r) * f);
+  }
+  return out;
+}
+
 ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_layer,
                                    const data::Dataset& dataset,
                                    std::int64_t batch_size) {

@@ -28,6 +28,12 @@ struct ExtractedFeatures {
   tensor::Tensor values;    // [N, F] with F = C*H*W at the cut
   tensor::Shape chw;        // activation shape at the cut
   std::size_t cut_layer = 0;
+
+  /// Copies the given rows (in order, duplicates allowed) into a new
+  /// ExtractedFeatures carrying the same cut metadata.  Shared by the
+  /// incremental-learning example and the online drift-stream tooling
+  /// (base-class subsets, per-chunk slices).
+  ExtractedFeatures select_rows(const std::vector<std::int64_t>& rows) const;
 };
 
 /// Runs a prebuilt plan over every sample of `dataset`.  Use this overload

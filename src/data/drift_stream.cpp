@@ -1,0 +1,96 @@
+#include "data/drift_stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace nshd::data {
+
+const char* to_string(DriftMode mode) {
+  switch (mode) {
+    case DriftMode::kNone: return "none";
+    case DriftMode::kLabelNoise: return "label-noise";
+    case DriftMode::kShift: return "shift";
+    case DriftMode::kNovelClass: return "novel-class";
+  }
+  return "?";
+}
+
+namespace {
+
+float lerp(float from, float to, float t) { return from + (to - from) * t; }
+
+/// Per-step split_seed_offset, disjoint from the train (0) / test (1)
+/// offsets the stationary pipeline uses.
+constexpr std::uint64_t kStreamSeedBase = 1000;
+
+}  // namespace
+
+DriftStream::DriftStream(const DriftStreamConfig& config) : config_(config) {
+  assert(config_.steps > 0 && config_.chunk_size > 0);
+  assert(config_.base.num_classes > 0);
+}
+
+std::int64_t DriftStream::total_classes() const {
+  return config_.base.num_classes +
+         (config_.mode == DriftMode::kNovelClass ? config_.novel_classes : 0);
+}
+
+DriftChunk DriftStream::chunk(std::int64_t step) const {
+  assert(step >= 0 && step < config_.steps);
+  const float t = config_.steps <= 1
+                      ? 0.0f
+                      : static_cast<float>(step) /
+                            static_cast<float>(config_.steps - 1);
+
+  SynthCifarConfig gen = config_.base;
+  std::int64_t active = gen.num_classes;
+  if (config_.mode == DriftMode::kNovelClass && step >= config_.novel_class_at)
+    active += config_.novel_classes;
+  gen.num_classes = active;
+  if (config_.mode == DriftMode::kShift) {
+    gen.noise_stddev *= lerp(1.0f, config_.shift_noise_scale, t);
+    gen.jitter_fraction =
+        std::min(0.5f, gen.jitter_fraction * lerp(1.0f, config_.shift_jitter_scale, t));
+    gen.distractor_strength *= lerp(1.0f, config_.shift_distractor_scale, t);
+  }
+  // Generate just enough balanced samples to cover the chunk, then take a
+  // deterministic shuffled subset so chunk composition is not grouped by
+  // class.  Everything is keyed on (config, step) only — see header.
+  gen.samples_per_class = (config_.chunk_size + active - 1) / active;
+  Dataset pool = make_synth_cifar(
+      gen, kStreamSeedBase + static_cast<std::uint64_t>(step));
+
+  util::Rng stream_rng(config_.seed);
+  util::Rng rng = stream_rng.fork(static_cast<std::uint64_t>(step));
+  std::vector<std::size_t> order = util::iota_indices(
+      static_cast<std::size_t>(pool.size()));
+  rng.shuffle(order);
+  order.resize(static_cast<std::size_t>(
+      std::min<std::int64_t>(config_.chunk_size, pool.size())));
+
+  DriftChunk chunk;
+  chunk.step = step;
+  chunk.drift01 = t;
+  chunk.data.images = pool.gather(order);
+  chunk.data.labels = pool.gather_labels(order);
+  chunk.data.num_classes = active;
+  chunk.clean_labels = chunk.data.labels;
+
+  if (config_.mode == DriftMode::kLabelNoise && active > 1) {
+    chunk.label_noise =
+        lerp(config_.label_noise_start, config_.label_noise_end, t);
+    for (std::int64_t& label : chunk.data.labels) {
+      if (!rng.bernoulli(static_cast<double>(chunk.label_noise))) continue;
+      // Uniform over the *wrong* labels, so a flip always corrupts.
+      const auto offset =
+          1 + static_cast<std::int64_t>(rng.next_below(
+                  static_cast<std::uint64_t>(active - 1)));
+      label = (label + offset) % active;
+    }
+  }
+  return chunk;
+}
+
+}  // namespace nshd::data

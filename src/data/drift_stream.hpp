@@ -1,0 +1,95 @@
+// Drift injection over SynthCIFAR: the workload side of streaming online
+// learning.
+//
+// A DriftStream turns the stationary SynthCIFAR generator into a
+// non-stationary sample stream, chunk by chunk, under one of three drift
+// regimes the online-learning literature distinguishes:
+//
+//   kLabelNoise   supervision quality decays: a linearly-ramped fraction of
+//                 each chunk's labels is flipped to a uniformly random wrong
+//                 class (clean labels are kept alongside, so accuracy can be
+//                 measured against the truth).
+//   kShift        gradual covariate shift: the generator's instance
+//                 parameters (pixel noise, spatial jitter, distractor
+//                 strength) ramp toward configured end-of-stream multipliers,
+//                 so late chunks are drawn from a visibly harder
+//                 distribution than the one the model trained on.
+//   kNovelClass   open-world growth: from `novel_class_at` onward, chunks
+//                 also contain samples of classes the model has never seen
+//                 — the add_class() trigger for the versioned bank.
+//
+// Chunks are STATELESS and deterministic: chunk(step) depends only on
+// (config, step), never on which chunks were generated before.  That is the
+// property kill-resume rests on — a learning stream killed at step s and
+// resumed from a bank snapshot replays chunks s..end bitwise-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synth_cifar.hpp"
+
+namespace nshd::data {
+
+enum class DriftMode {
+  kNone,        // stationary stream (control)
+  kLabelNoise,  // ramped label corruption
+  kShift,       // gradual distribution shift
+  kNovelClass,  // new classes appear mid-stream
+};
+const char* to_string(DriftMode mode);
+
+struct DriftStreamConfig {
+  SynthCifarConfig base;  // class/image parameters at stream start
+  DriftMode mode = DriftMode::kNone;
+  std::int64_t steps = 20;       // chunks in the stream
+  std::int64_t chunk_size = 64;  // samples per chunk
+
+  // kLabelNoise: corrupted fraction ramps linearly start -> end over the
+  // stream.
+  float label_noise_start = 0.0f;
+  float label_noise_end = 0.5f;
+
+  // kShift: generator parameters reach these multipliers of their base
+  // values by the final step (1.0 = no shift).
+  float shift_noise_scale = 2.5f;
+  float shift_jitter_scale = 1.4f;
+  float shift_distractor_scale = 1.8f;
+
+  // kNovelClass: classes [base.num_classes, base.num_classes+novel_classes)
+  // start appearing at step novel_class_at.
+  std::int64_t novel_classes = 2;
+  std::int64_t novel_class_at = 10;
+
+  std::uint64_t seed = 99;  // stream-level randomness (order, noise, flips)
+};
+
+/// One stream chunk: `data.labels` are the (possibly corrupted) labels the
+/// learner sees; `clean_labels` is the ground truth for accuracy-over-time.
+struct DriftChunk {
+  Dataset data;
+  std::vector<std::int64_t> clean_labels;
+  std::int64_t step = 0;
+  float label_noise = 0.0f;  // corruption fraction applied to this chunk
+  float drift01 = 0.0f;      // normalized stream position in [0, 1]
+};
+
+class DriftStream {
+ public:
+  explicit DriftStream(const DriftStreamConfig& config);
+
+  /// Synthesizes chunk `step` (0-based).  Pure function of (config, step).
+  DriftChunk chunk(std::int64_t step) const;
+
+  /// Classes present anywhere in the stream (base + novel when applicable);
+  /// `data.num_classes` of a chunk reports only the classes active *at that
+  /// step*.
+  std::int64_t total_classes() const;
+
+  const DriftStreamConfig& config() const { return config_; }
+
+ private:
+  DriftStreamConfig config_;
+};
+
+}  // namespace nshd::data

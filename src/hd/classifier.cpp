@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
@@ -62,6 +64,32 @@ void HdClassifier::refresh_norms() const {
   norms_valid_ = true;
 }
 
+void HdClassifier::audit_norms() const {
+#if defined(NSHD_NORM_AUDIT)
+  // Sanitizer-tree contract check: a cache that claims validity must agree
+  // with a full recompute.  The 1e-3-relative tolerance matches the bound
+  // the incremental ||C + aH||^2 maintenance is tested to in hd_test; a
+  // caller that wrote the bank through bank() without invalidate_norms()
+  // lands far outside it.
+  if (!norms_valid_) return;
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    const float* row = class_vector(c);
+    double sq = 0.0;
+    for (std::int64_t d = 0; d < dim_; ++d) sq += static_cast<double>(row[d]) * row[d];
+    const double expect = std::sqrt(sq);
+    const double got = static_cast<double>(norms_[static_cast<std::size_t>(c)]);
+    if (std::fabs(got - expect) > 1e-3 * std::max(1.0, expect)) {
+      std::fprintf(stderr,
+                   "HdClassifier norm audit: class %lld cached norm %.9g != "
+                   "recomputed %.9g — stale cache (missing invalidate_norms()?) "
+                   "or drifting incremental maintenance\n",
+                   static_cast<long long>(c), got, expect);
+      std::abort();
+    }
+  }
+#endif
+}
+
 void HdClassifier::bundle_init(const std::vector<Hypervector>& samples,
                                const std::vector<std::int64_t>& labels) {
   assert(samples.size() == labels.size());
@@ -89,6 +117,23 @@ std::int64_t HdClassifier::add_class(const std::vector<Hypervector>& samples) {
   }
   norms_valid_ = false;
   return new_index;
+}
+
+void HdClassifier::remove_class(std::int64_t c) {
+  assert(c >= 0 && c < num_classes_);
+  assert(num_classes_ > 1 && "cannot remove the last class");
+  tensor::Tensor shrunk(tensor::Shape{num_classes_ - 1, dim_});
+  const float* src = bank_.data();
+  float* dst = shrunk.data();
+  std::copy(src, src + c * dim_, dst);
+  std::copy(src + (c + 1) * dim_, src + num_classes_ * dim_, dst + c * dim_);
+  bank_ = std::move(shrunk);
+  --num_classes_;
+  // The surviving rows are untouched, so the cached norms stay exact — just
+  // drop the removed entry instead of invalidating the whole cache.
+  norms_.erase(norms_.begin() + static_cast<std::ptrdiff_t>(c));
+  norm_sq_.erase(norm_sq_.begin() + static_cast<std::ptrdiff_t>(c));
+  audit_norms();
 }
 
 std::vector<double> HdClassifier::raw_dots(const Hypervector& query) const {
@@ -135,7 +180,10 @@ tensor::Tensor HdClassifier::similarities_all(const std::vector<Hypervector>& qu
   tensor::Tensor sims(tensor::Shape{n, num_classes_});
   if (n == 0) return sims;
   // Norms refresh happens once up front, never inside the blocked loop.
-  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  if (metric == Similarity::kCosine) {
+    if (!norms_valid_) refresh_norms();
+    audit_norms();
+  }
   std::vector<float> qf(static_cast<std::size_t>(std::min(n, kQueryBlock) * dim_));
   std::vector<float> raw(static_cast<std::size_t>(std::min(n, kQueryBlock) * num_classes_));
   for (std::int64_t b = 0; b < n; b += kQueryBlock) {
@@ -168,7 +216,10 @@ std::vector<float> HdClassifier::sims_from_raw(const std::vector<double>& raw,
                                                Similarity metric) const {
   std::vector<float> sims(static_cast<std::size_t>(num_classes_));
   const double query_norm = std::sqrt(static_cast<double>(dim_));
-  if (metric == Similarity::kCosine && !norms_valid_) refresh_norms();
+  if (metric == Similarity::kCosine) {
+    if (!norms_valid_) refresh_norms();
+    audit_norms();
+  }
   for (std::int64_t c = 0; c < num_classes_; ++c) {
     if (metric == Similarity::kDot) {
       sims[static_cast<std::size_t>(c)] =
@@ -305,6 +356,7 @@ void HdClassifier::apply_update(const Hypervector& sample,
       axpy(class_vector(c), alpha, sample);
     }
   });
+  audit_norms();
 }
 
 tensor::Tensor HdClassifier::query_gradient(const std::vector<float>& update) const {

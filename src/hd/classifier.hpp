@@ -43,6 +43,12 @@ class HdClassifier {
   /// (or retraining) the existing bank.  Returns the new class index.
   std::int64_t add_class(const std::vector<Hypervector>& samples);
 
+  /// Removes class `c`; classes above shift down by one.  The inverse of
+  /// add_class for streaming workloads that retire classes at runtime.
+  /// Cached norms are erased in step with the bank rows (never invalidated),
+  /// so the cosine path stays warm across a removal.
+  void remove_class(std::int64_t c);
+
   /// Class-wise similarity vector delta(M, H), using the configured metric.
   /// Cosine values land in [-1, 1].
   std::vector<float> similarities(const Hypervector& query, Similarity metric) const;
@@ -103,12 +109,18 @@ class HdClassifier {
   /// recompute.
   const std::vector<float>& class_norms() const {
     if (!norms_valid_) refresh_norms();
+    audit_norms();
     return norms_;
   }
 
   /// Marks the cached norms stale.  Must be called by anyone who writes the
   /// bank storage directly (e.g. restoring a snapshot through bank()) —
-  /// otherwise cosine similarities keep using the old norms.
+  /// otherwise cosine similarities keep using the old norms.  The sanitizer
+  /// trees enforce this contract: under NSHD_NORM_AUDIT (defined whenever
+  /// NSHD_SANITIZE is set) every read of the cache re-verifies it against a
+  /// full recompute and aborts on a stale or drifting entry, so a missing
+  /// invalidate_norms() call dies at the first poisoned read instead of
+  /// silently serving wrong cosines (the PR 6 load_state bug, at the source).
   void invalidate_norms() { norms_valid_ = false; }
 
   /// Gradient of the loss with respect to the query hypervector under the
@@ -149,6 +161,10 @@ class HdClassifier {
   mutable std::vector<double> norm_sq_; // squared norms, double to bound drift
   mutable bool norms_valid_ = false;
   void refresh_norms() const;
+  /// NSHD_NORM_AUDIT builds: when the cache claims validity, every cached
+  /// norm must match a full recompute from the bank within float-rounding
+  /// tolerance; aborts otherwise.  No-op (empty inline) in regular builds.
+  void audit_norms() const;
   /// Raw per-class dot products M . H for one query (unpack + gemv).
   std::vector<double> raw_dots(const Hypervector& query) const;
   /// Similarity vector from raw dots; refreshes norms first for cosine.

@@ -1,0 +1,279 @@
+#include "hd/versioned_bank.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace nshd::hd {
+
+const char* to_string(UpdateStatus status) {
+  switch (status) {
+    case UpdateStatus::kOk: return "ok";
+    case UpdateStatus::kBadArgs: return "bad-args";
+    case UpdateStatus::kNonFinite: return "non-finite";
+    case UpdateStatus::kAccuracyCollapse: return "accuracy-collapse";
+    case UpdateStatus::kPublishFault: return "publish-fault";
+  }
+  return "?";
+}
+
+namespace {
+constexpr char kSnapshotMetaFormat[] = "online-bank version=%" PRIu64 " cursor=%" PRIu64;
+}  // namespace
+
+VersionedBank::VersionedBank(const HdClassifier& initial)
+    : dim_(initial.dim()) {
+  auto v = std::make_shared<Version>(Version{initial, 0});
+  // Publish only norm-warm banks: readers score snapshots concurrently and
+  // must never race the lazy (mutable) cosine-norm refresh.
+  (void)v->bank.class_norms();
+  published_.store(std::move(v), std::memory_order_release);
+}
+
+double VersionedBank::guard_accuracy(const HdClassifier& bank) const {
+  if (guard_.holdout.empty()) return -1.0;
+  return bank.evaluate(guard_.holdout, guard_.holdout_labels, guard_.metric);
+}
+
+void VersionedBank::set_guard(UpdateGuard guard) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  guard_ = std::move(guard);
+  // Re-baseline: the rollback reference is always the *published* version's
+  // accuracy on the *current* holdout.
+  published_accuracy_ =
+      guard_accuracy(published_.load(std::memory_order_acquire)->bank);
+}
+
+template <typename Mutate>
+UpdateStatus VersionedBank::publish(Mutate&& mutate, bool accuracy_gated) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const Snapshot current = published_.load(std::memory_order_acquire);
+
+  // Copy-on-write: the shadow is private to this writer until the swap, so
+  // readers keep scoring the published version undisturbed.
+  auto next = std::make_shared<Version>(*current);
+  const UpdateStatus mutated = mutate(next->bank);
+  if (mutated != UpdateStatus::kOk) return mutated;
+
+  if (util::fault::should_fire("online.update_nan") &&
+      next->bank.num_classes() > 0) {
+    next->bank.class_vector(0)[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+
+  // Gate 1 — finiteness: a poisoned shadow is dropped here, before any
+  // reader can observe it.
+  if (!next->bank.bank_finite()) {
+    NSHD_LOG_WARN("VersionedBank: update produced a non-finite bank — "
+                  "rolled back, version %llu stays published",
+                  static_cast<unsigned long long>(current->version));
+    return UpdateStatus::kNonFinite;
+  }
+
+  // Gate 2 — accuracy: the candidate must not collapse relative to the
+  // published version on the guard holdout.
+  double candidate_accuracy = published_accuracy_;
+  if (accuracy_gated && !guard_.holdout.empty()) {
+    candidate_accuracy = guard_accuracy(next->bank);
+    double floor = guard_.min_accuracy;
+    if (published_accuracy_ >= 0.0)
+      floor = std::max(floor, published_accuracy_ - guard_.max_accuracy_drop);
+    if (candidate_accuracy < floor) {
+      NSHD_LOG_WARN("VersionedBank: guard accuracy %.4f under floor %.4f "
+                    "(published %.4f) — rolled back",
+                    candidate_accuracy, floor, published_accuracy_);
+      return UpdateStatus::kAccuracyCollapse;
+    }
+  } else if (!guard_.holdout.empty()) {
+    // Structural op under an active guard: the label space changed, so the
+    // old baseline is stale; re-measure against the (unchanged) holdout.
+    candidate_accuracy = guard_accuracy(next->bank);
+  }
+
+  // Gate 3 — canonicalize the shadow's norm cache before it becomes shared:
+  // a full recompute from the bank values, not the incrementally-maintained
+  // running state of the epoch that just ran.  Published norms being a pure
+  // function of the bank bits is what bitwise kill-resume from a
+  // values-only snapshot rests on — a restored bank recomputes its norms
+  // and must replay the stream identically.  (Also keeps readers off the
+  // lazy mutable refresh, as with every published version.)
+  next->bank.invalidate_norms();
+  (void)next->bank.class_norms();
+  next->version = current->version + 1;
+
+  // Gate 4 — the swap itself.  A crash here (injected or real) must leave
+  // the previous version published and the bank uncorrupted: the store is
+  // the *last* action, so an exception anywhere above simply drops `next`.
+  try {
+    if (util::fault::should_fire("online.publish_crash"))
+      throw std::runtime_error("injected online.publish_crash");
+    [[maybe_unused]] const detail::TsanIgnoreWritesScope shim;  // see versioned_bank.hpp
+    published_.store(std::move(next), std::memory_order_release);
+  } catch (const std::exception& e) {
+    NSHD_LOG_WARN("VersionedBank: publish faulted (%s) — version %llu stays "
+                  "published", e.what(),
+                  static_cast<unsigned long long>(current->version));
+    return UpdateStatus::kPublishFault;
+  }
+  published_accuracy_ = candidate_accuracy;
+  return UpdateStatus::kOk;
+}
+
+UpdateStatus VersionedBank::mass_epoch(const std::vector<Hypervector>& samples,
+                                       const std::vector<std::int64_t>& labels,
+                                       const MassConfig& config,
+                                       double* train_accuracy) {
+  if (samples.empty() || samples.size() != labels.size())
+    return UpdateStatus::kBadArgs;
+  for (const Hypervector& sample : samples)
+    if (sample.dim() != dim_) return UpdateStatus::kBadArgs;
+  return publish(
+      [&](HdClassifier& bank) {
+        // Label range is checked against the shadow inside the writer lock:
+        // a concurrent remove_class must not slip between check and use.
+        for (const std::int64_t label : labels)
+          if (label < 0 || label >= bank.num_classes())
+            return UpdateStatus::kBadArgs;
+        const double accuracy = bank.mass_epoch(samples, labels, config);
+        if (train_accuracy != nullptr) *train_accuracy = accuracy;
+        return UpdateStatus::kOk;
+      },
+      /*accuracy_gated=*/true);
+}
+
+UpdateStatus VersionedBank::apply_update(const Hypervector& sample,
+                                         const std::vector<float>& update,
+                                         float learning_rate) {
+  if (sample.dim() != dim_) return UpdateStatus::kBadArgs;
+  return publish(
+      [&](HdClassifier& bank) {
+        if (static_cast<std::int64_t>(update.size()) != bank.num_classes())
+          return UpdateStatus::kBadArgs;
+        bank.apply_update(sample, update, learning_rate);
+        return UpdateStatus::kOk;
+      },
+      /*accuracy_gated=*/true);
+}
+
+UpdateStatus VersionedBank::add_class(const std::vector<Hypervector>& samples,
+                                      std::int64_t* new_class) {
+  if (samples.empty()) return UpdateStatus::kBadArgs;
+  for (const Hypervector& sample : samples)
+    if (sample.dim() != dim_) return UpdateStatus::kBadArgs;
+  std::int64_t index = -1;
+  const UpdateStatus status = publish(
+      [&](HdClassifier& bank) {
+        index = bank.add_class(samples);
+        return UpdateStatus::kOk;
+      },
+      /*accuracy_gated=*/false);
+  if (status == UpdateStatus::kOk && new_class != nullptr) *new_class = index;
+  return status;
+}
+
+UpdateStatus VersionedBank::remove_class(std::int64_t class_index) {
+  return publish(
+      [&](HdClassifier& bank) {
+        if (class_index < 0 || class_index >= bank.num_classes() ||
+            bank.num_classes() <= 1)
+          return UpdateStatus::kBadArgs;
+        bank.remove_class(class_index);
+        return UpdateStatus::kOk;
+      },
+      /*accuracy_gated=*/false);
+}
+
+UpdateStatus VersionedBank::reseed(const HdClassifier& bank) {
+  if (bank.dim() != dim_) return UpdateStatus::kBadArgs;
+  return publish(
+      [&](HdClassifier& shadow) {
+        shadow = bank;
+        return UpdateStatus::kOk;
+      },
+      /*accuracy_gated=*/false);
+}
+
+bool VersionedBank::save_snapshot(const std::string& path,
+                                  const std::string& key,
+                                  std::uint64_t cursor) const {
+  // Snapshot semantics fall straight out of the versioning: grab the
+  // published epoch (atomic, no writer lock) and persist that — a writer
+  // publishing concurrently is simply not part of this snapshot.
+  const Snapshot snap = snapshot();
+  util::Checkpoint checkpoint;
+  checkpoint.key = key;
+  char meta[96];
+  std::snprintf(meta, sizeof(meta), kSnapshotMetaFormat, snap->version, cursor);
+  checkpoint.meta = meta;
+  util::CheckpointTensor bank;
+  bank.dims = {snap->bank.num_classes(), snap->bank.dim()};
+  const float* data = snap->bank.bank().data();
+  bank.values.assign(data, data + snap->bank.num_classes() * snap->bank.dim());
+  checkpoint.tensors.push_back(std::move(bank));
+  return util::write_checkpoint_file(path, checkpoint);
+}
+
+VersionedBank::RestoreResult VersionedBank::load_snapshot(
+    const std::string& path, const std::string& key) {
+  RestoreResult result;
+  const auto fail = [&](util::LoadStatus status) {
+    NSHD_LOG_WARN("VersionedBank: snapshot restore from %s failed: %s — "
+                  "live bank untouched", path.c_str(), util::to_string(status));
+    result.status = status;
+    return result;
+  };
+
+  // Verify everything *before* the swap (the reload() idiom): CRCs and the
+  // commit marker inside read_checkpoint_file, then identity, shape, and
+  // numeric health here.
+  util::CheckpointLoad load = util::read_checkpoint_file(path);
+  if (!load.ok()) return fail(load.status);
+  if (!load.checkpoint.key.empty() && load.checkpoint.key != key)
+    return fail(util::LoadStatus::kShapeMismatch);
+  if (load.checkpoint.tensors.size() != 1)
+    return fail(util::LoadStatus::kShapeMismatch);
+  util::CheckpointTensor& bank = load.checkpoint.tensors[0];
+  if (bank.dims.size() != 2 || bank.dims[0] < 1 || bank.dims[1] != dim_ ||
+      bank.values.size() !=
+          static_cast<std::size_t>(bank.dims[0]) * static_cast<std::size_t>(dim_))
+    return fail(util::LoadStatus::kShapeMismatch);
+  std::uint64_t version = 0, cursor = 0;
+  if (std::sscanf(load.checkpoint.meta.c_str(), kSnapshotMetaFormat, &version,
+                  &cursor) != 2)
+    return fail(util::LoadStatus::kShapeMismatch);
+
+  if (util::fault::should_fire("online.snapshot_corrupt") && !bank.values.empty()) {
+    bank.values[bank.values.size() / 2] = std::numeric_limits<float>::quiet_NaN();
+  }
+  if (!tensor::all_finite(bank.values.data(),
+                          static_cast<std::int64_t>(bank.values.size())))
+    return fail(util::LoadStatus::kNonFinite);
+
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  auto next = std::make_shared<Version>(
+      Version{HdClassifier(bank.dims[0], dim_), version});
+  std::copy(bank.values.begin(), bank.values.end(), next->bank.bank().data());
+  // Direct bank() writes stale the norm cache; honor the contract, then
+  // re-warm before publishing (same invariant as every other version).
+  next->bank.invalidate_norms();
+  (void)next->bank.class_norms();
+  {
+    [[maybe_unused]] const detail::TsanIgnoreWritesScope shim;  // see versioned_bank.hpp
+    published_.store(std::move(next), std::memory_order_release);
+  }
+  published_accuracy_ =
+      guard_accuracy(published_.load(std::memory_order_acquire)->bank);
+
+  result.status = util::LoadStatus::kOk;
+  result.version = version;
+  result.cursor = cursor;
+  return result;
+}
+
+}  // namespace nshd::hd

@@ -1,0 +1,249 @@
+// Versioned, copy-on-write class bank for streaming online learning.
+//
+// The paper's hallmark HD capability — incremental class learning with no
+// retraining — only matters in practice if updates can proceed *while
+// prediction traffic is being served*.  VersionedBank wraps HdClassifier in
+// an epoch-swap scheme:
+//
+//   readers   snapshot() is a single atomic shared-ptr load.  No mutex, no
+//             reference-count games beyond shared_ptr itself: the returned
+//             Version is immutable and its norm cache is always warm (the
+//             writer warms it before publishing), so concurrent
+//             similarities_all / predict_all calls never touch mutable
+//             state.  A reader keeps scoring against its snapshot even if
+//             ten newer versions publish meanwhile — bitwise-consistent,
+//             never torn, never a mix of old bank rows and new norms.
+//
+//   writers   serialize on an internal mutex.  Every mutator copies the
+//             published bank into a private shadow, mutates the shadow,
+//             then runs the verify-then-swap gate (the PR 2 checkpoint /
+//             PR 7 reload idiom, applied to in-memory updates):
+//
+//               1. finiteness — a NaN/Inf shadow bank is discarded, the
+//                  published version stays live (UpdateStatus::kNonFinite);
+//               2. accuracy   — when an UpdateGuard holdout is set, the
+//                  shadow must not collapse relative to the published
+//                  version's accuracy on the same holdout
+//                  (UpdateStatus::kAccuracyCollapse);
+//               3. norm warm  — the shadow's cosine norm cache is refreshed
+//                  *before* the swap so no reader ever races the lazy
+//                  refresh;
+//               4. publish    — one atomic shared-ptr store.  A crash in
+//                  this step (fault site online.publish_crash) is contained:
+//                  the previous version remains published
+//                  (UpdateStatus::kPublishFault).
+//
+// Crash-safe persistence rides on NSHDKPT1 (util/checkpoint): save_snapshot
+// commits the published bank + version + stream cursor by atomic rename, so
+// a killed learning stream resumes bitwise-identically from its last
+// snapshot — same bank bits, same version counter, same stream position.
+//
+// Fault sites (see util/fault.hpp): online.update_nan poisons the shadow
+// after mutation (exercises gate 1), online.publish_crash throws inside the
+// swap (gate 4), online.snapshot_corrupt flips restored bank values in
+// memory (exercises the restore-side finiteness gate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hd/classifier.hpp"
+#include "util/checkpoint.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define NSHD_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NSHD_TSAN_ACTIVE 1
+#endif
+#endif
+
+#if defined(NSHD_TSAN_ACTIVE)
+extern "C" {
+void AnnotateIgnoreReadsBegin(const char* file, int line);
+void AnnotateIgnoreReadsEnd(const char* file, int line);
+void AnnotateIgnoreWritesBegin(const char* file, int line);
+void AnnotateIgnoreWritesEnd(const char* file, int line);
+}
+#endif
+
+namespace nshd::hd {
+
+namespace detail {
+
+// libstdc++ 12's std::atomic<shared_ptr> guards its raw pointer word with an
+// embedded spinlock, but the reader path (_Sp_atomic::load) releases that
+// lock with a *relaxed* RMW — so ThreadSanitizer never sees a happens-before
+// edge from a reader's internal pointer read to the next writer's pointer
+// swap and reports a false race on exactly the load/store pattern
+// VersionedBank::snapshot()/publish() relies on.  (Newer libstdc++ unlocks
+// with release ordering when TSan is active, for this reason; the spinlock's
+// RMW chain already orders the accesses on hardware.)  These scopes exclude
+// only the plain pointer-word access inside the bracketed atomic call from
+// race checking; the lock-word atomics stay instrumented, so every
+// happens-before edge protecting the *pointed-to* Version is still built and
+// enforced — a genuinely unsynchronized bank access would still be reported.
+struct TsanIgnoreReadsScope {
+#if defined(NSHD_TSAN_ACTIVE)
+  TsanIgnoreReadsScope() { AnnotateIgnoreReadsBegin(__FILE__, __LINE__); }
+  ~TsanIgnoreReadsScope() { AnnotateIgnoreReadsEnd(__FILE__, __LINE__); }
+#endif
+  TsanIgnoreReadsScope(const TsanIgnoreReadsScope&) = delete;
+  TsanIgnoreReadsScope& operator=(const TsanIgnoreReadsScope&) = delete;
+#if !defined(NSHD_TSAN_ACTIVE)
+  TsanIgnoreReadsScope() = default;
+#endif
+};
+
+struct TsanIgnoreWritesScope {
+#if defined(NSHD_TSAN_ACTIVE)
+  TsanIgnoreWritesScope() { AnnotateIgnoreWritesBegin(__FILE__, __LINE__); }
+  ~TsanIgnoreWritesScope() { AnnotateIgnoreWritesEnd(__FILE__, __LINE__); }
+#endif
+  TsanIgnoreWritesScope(const TsanIgnoreWritesScope&) = delete;
+  TsanIgnoreWritesScope& operator=(const TsanIgnoreWritesScope&) = delete;
+#if !defined(NSHD_TSAN_ACTIVE)
+  TsanIgnoreWritesScope() = default;
+#endif
+};
+
+}  // namespace detail
+
+/// Typed outcome of a VersionedBank mutator.  Everything except kOk leaves
+/// the published version untouched — a failed update is invisible to
+/// readers, not a corrupted bank.
+enum class UpdateStatus {
+  kOk,                // new version published
+  kBadArgs,           // size/dim/index mismatch; nothing was mutated
+  kNonFinite,         // shadow bank carried NaN/Inf -> rolled back
+  kAccuracyCollapse,  // guard holdout accuracy collapsed -> rolled back
+  kPublishFault,      // publish step faulted -> previous version stays live
+};
+const char* to_string(UpdateStatus status);
+
+/// Verify-then-swap accuracy gate.  The finiteness gate always runs; the
+/// accuracy gate runs only when `holdout` is non-empty, and only for
+/// weight-space updates (mass_epoch / apply_update) — structural ops
+/// (add_class / remove_class) change the label space itself, so the caller
+/// re-arms the guard with a matching holdout afterwards.
+struct UpdateGuard {
+  std::vector<Hypervector> holdout;        // encoder-space holdout queries
+  std::vector<std::int64_t> holdout_labels;
+  /// Candidate accuracy may not fall more than this below the published
+  /// version's accuracy on the same holdout...
+  double max_accuracy_drop = 0.15;
+  /// ...nor below this absolute floor.
+  double min_accuracy = 0.0;
+  Similarity metric = Similarity::kCosine;
+};
+
+class VersionedBank {
+ public:
+  /// One published, immutable epoch of the class bank.  `bank` is norm-warm
+  /// by construction: scoring it concurrently is safe and lock-free.
+  struct Version {
+    HdClassifier bank;
+    std::uint64_t version = 0;
+  };
+  using Snapshot = std::shared_ptr<const Version>;
+
+  /// Seeds version 0 from a trained classifier (copied; the source is not
+  /// retained).  Precondition: `initial` is finite — validate with
+  /// bank_finite() first when the source is untrusted.
+  explicit VersionedBank(const HdClassifier& initial);
+
+  VersionedBank(const VersionedBank&) = delete;
+  VersionedBank& operator=(const VersionedBank&) = delete;
+
+  /// The current published version: one atomic load, zero locks.  Hold the
+  /// snapshot for as long as consistency is needed; it never mutates.
+  Snapshot snapshot() const {
+    [[maybe_unused]] const detail::TsanIgnoreReadsScope shim;  // see detail:: note above
+    return published_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t version() const { return snapshot()->version; }
+  std::int64_t dim() const { return dim_; }
+  std::int64_t num_classes() const { return snapshot()->bank.num_classes(); }
+
+  /// Installs (or replaces) the accuracy guard and re-baselines the
+  /// published version's accuracy against the new holdout.  Call after
+  /// add_class/remove_class with a holdout matching the new label space.
+  void set_guard(UpdateGuard guard);
+
+  /// One MASS epoch over a chunk of the stream, gated and published as a
+  /// new version.  `train_accuracy`, when non-null, receives the
+  /// pre-update training accuracy of the shadow pass (meaningless unless
+  /// kOk).
+  UpdateStatus mass_epoch(const std::vector<Hypervector>& samples,
+                          const std::vector<std::int64_t>& labels,
+                          const MassConfig& config,
+                          double* train_accuracy = nullptr);
+
+  /// Single-sample update M += lr * u^T (outer) H, gated and published.
+  UpdateStatus apply_update(const Hypervector& sample,
+                            const std::vector<float>& update,
+                            float learning_rate);
+
+  /// One-shot class growth: bundles `samples` into a new class vector and
+  /// publishes a K+1 bank.  `new_class`, when non-null, receives the new
+  /// class index on kOk.
+  UpdateStatus add_class(const std::vector<Hypervector>& samples,
+                         std::int64_t* new_class = nullptr);
+
+  /// Retires class `class_index`; classes above shift down by one.  The
+  /// caller owns any label remapping and should re-arm the guard.
+  UpdateStatus remove_class(std::int64_t class_index);
+
+  /// Wholesale replacement (serving reload path): publishes a copy of
+  /// `bank` as the next version, finiteness-gated but not accuracy-gated.
+  UpdateStatus reseed(const HdClassifier& bank);
+
+  /// Commits the published version to `path` as an NSHDKPT1 checkpoint
+  /// (atomic rename; see util/checkpoint).  `cursor` is an opaque stream
+  /// position (e.g. chunks consumed) stored in the metadata so a resumed
+  /// stream knows where to pick up.  Returns false on IO failure.
+  bool save_snapshot(const std::string& path, const std::string& key,
+                     std::uint64_t cursor = 0) const;
+
+  struct RestoreResult {
+    util::LoadStatus status = util::LoadStatus::kNotFound;
+    std::uint64_t version = 0;  // restored version counter (kOk only)
+    std::uint64_t cursor = 0;   // restored stream position (kOk only)
+  };
+
+  /// Restores a save_snapshot artifact: fully verified (CRCs, key, shape,
+  /// finiteness — fault site online.snapshot_corrupt exercises the latter)
+  /// before the swap, so any failure leaves the live bank untouched.  On
+  /// kOk the restored bank is published and the version counter continues
+  /// from the snapshot, making kill-resume bitwise-identical.
+  RestoreResult load_snapshot(const std::string& path, const std::string& key);
+
+ private:
+  /// The writer spine: copy the published bank, apply `mutate` to the
+  /// shadow, run the verify-then-swap gate, publish.  `accuracy_gated`
+  /// selects whether gate 2 applies (weight updates yes, structural and
+  /// reseed/restore no).
+  template <typename Mutate>
+  UpdateStatus publish(Mutate&& mutate, bool accuracy_gated);
+
+  /// Accuracy of `bank` on the guard holdout; -1 when no guard is set.
+  /// Caller holds writer_mutex_.
+  double guard_accuracy(const HdClassifier& bank) const;
+
+  const std::int64_t dim_;
+  /// Serializes writers; readers never touch it.
+  mutable std::mutex writer_mutex_;
+  /// Guarded by writer_mutex_: the gate config and the published version's
+  /// accuracy on the current holdout (the rollback baseline).
+  UpdateGuard guard_;
+  double published_accuracy_ = -1.0;
+  /// The epoch pointer.  Writers store (release) under writer_mutex_;
+  /// readers load (acquire) lock-free.
+  std::atomic<std::shared_ptr<const Version>> published_;
+};
+
+}  // namespace nshd::hd

@@ -36,6 +36,20 @@ const char* to_string(RequestStatus status) {
   return "?";
 }
 
+const char* to_string(UpdateStatus status) {
+  switch (status) {
+    case UpdateStatus::kOk: return "ok";
+    case UpdateStatus::kUnknownModel: return "unknown-model";
+    case UpdateStatus::kOnlineDisabled: return "online-disabled";
+    case UpdateStatus::kBadArgs: return "bad-args";
+    case UpdateStatus::kNonFinite: return "non-finite";
+    case UpdateStatus::kAccuracyCollapse: return "accuracy-collapse";
+    case UpdateStatus::kPublishFault: return "publish-fault";
+    case UpdateStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
 const char* to_string(FlushReason reason) {
   switch (reason) {
     case FlushReason::kMaxBatch: return "max-batch";
@@ -51,6 +65,11 @@ ModelBundle::ModelBundle(models::ZooModel zoo_model, std::size_t cut_layer,
       cut(cut_layer),
       nshd(zoo, cut_layer, config),
       plan(zoo.net, zoo.input_chw, cut_layer, max_batch) {}
+
+void ModelBundle::enable_online(hd::UpdateGuard guard) {
+  online = std::make_unique<hd::VersionedBank>(nshd.classifier());
+  online->set_guard(std::move(guard));
+}
 
 bool save_bundle_checkpoint(const core::NshdModel& model, const std::string& key,
                             const std::string& path) {
@@ -372,11 +391,21 @@ void Engine::execute_batch(ModelEntry& entry, std::vector<Request>& batch,
     const std::vector<hd::Hypervector> queries =
         scan ? bundle.nshd.symbolize_all_checked(features, health)
              : bundle.nshd.symbolize_all(features);
-    sims = bundle.nshd.classifier().similarities_all(queries,
-                                                     bundle.nshd.config().similarity);
+    if (bundle.online != nullptr) {
+      // Online mode: score the latest published bank version — one atomic
+      // load, and the whole batch sees exactly that version regardless of
+      // how many updates publish while it runs.
+      const hd::VersionedBank::Snapshot snap = bundle.online->snapshot();
+      sims = snap->bank.similarities_all(queries, bundle.nshd.config().similarity);
+    } else {
+      sims = bundle.nshd.classifier().similarities_all(
+          queries, bundle.nshd.config().similarity);
+    }
   }
 
-  const std::int64_t k = bundle.nshd.classifier().num_classes();
+  // Class count from the scored tensor, not the static classifier: under
+  // online mode add_class/remove_class change K between batches.
+  const std::int64_t k = sims.shape()[1];
   if (util::fault::should_fire("serve.nan_logits") && n > 0 && k > 0) {
     sims.data()[0] = std::numeric_limits<float>::quiet_NaN();
   }
@@ -561,10 +590,135 @@ util::LoadStatus Engine::reload(const std::string& id, const std::string& path) 
       return fail(util::LoadStatus::kShapeMismatch);
     // Re-warm the norm cache serially while we still hold the writer lock.
     (void)entry->bundle->nshd.classifier().class_norms();
+    // Online mode serves from the versioned bank, so a reload must reseed
+    // it from the freshly loaded classifier (published as the next version;
+    // the finiteness gate already passed above).
+    if (entry->bundle->online != nullptr)
+      (void)entry->bundle->online->reseed(entry->bundle->nshd.classifier());
   }
   NSHD_LOG_INFO("serve: reloaded '%s' from %s", id.c_str(), path.c_str());
   counters_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
   return util::LoadStatus::kOk;
+}
+
+template <typename Mutate>
+UpdateStatus Engine::with_online(const std::string& id, Mutate&& mutate) {
+  ModelEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return UpdateStatus::kShutdown;
+    const auto it = registry_.find(id);
+    if (it != registry_.end()) entry = it->second.get();
+  }
+  if (entry == nullptr) return UpdateStatus::kUnknownModel;
+  if (entry->bundle->online == nullptr) {
+    counters_.updates_rejected.fetch_add(1, std::memory_order_relaxed);
+    return UpdateStatus::kOnlineDisabled;
+  }
+
+  // Shared side of the reload lock: updates serialize against reload's
+  // exclusive swap (which reseeds the bank) but NOT against batch
+  // execution — readers never wait on a writer.  Updates among themselves
+  // serialize on the bank's writer mutex.
+  hd::UpdateStatus status;
+  {
+    std::shared_lock<std::shared_mutex> guard(entry->reload_mutex);
+    status = mutate(*entry->bundle->online);
+  }
+  switch (status) {
+    case hd::UpdateStatus::kOk:
+      counters_.updates_ok.fetch_add(1, std::memory_order_relaxed);
+      return UpdateStatus::kOk;
+    case hd::UpdateStatus::kBadArgs:
+      counters_.updates_rejected.fetch_add(1, std::memory_order_relaxed);
+      return UpdateStatus::kBadArgs;
+    case hd::UpdateStatus::kNonFinite:
+      counters_.updates_rolled_back.fetch_add(1, std::memory_order_relaxed);
+      return UpdateStatus::kNonFinite;
+    case hd::UpdateStatus::kAccuracyCollapse:
+      counters_.updates_rolled_back.fetch_add(1, std::memory_order_relaxed);
+      return UpdateStatus::kAccuracyCollapse;
+    case hd::UpdateStatus::kPublishFault:
+      counters_.updates_rolled_back.fetch_add(1, std::memory_order_relaxed);
+      return UpdateStatus::kPublishFault;
+  }
+  return UpdateStatus::kBadArgs;  // unreachable
+}
+
+UpdateStatus Engine::update_online(const std::string& id,
+                                   const std::vector<hd::Hypervector>& samples,
+                                   const std::vector<std::int64_t>& labels,
+                                   const hd::MassConfig& config,
+                                   double* train_accuracy) {
+  return with_online(id, [&](hd::VersionedBank& bank) {
+    return bank.mass_epoch(samples, labels, config, train_accuracy);
+  });
+}
+
+UpdateStatus Engine::add_class_online(const std::string& id,
+                                      const std::vector<hd::Hypervector>& samples,
+                                      std::int64_t* new_class) {
+  const UpdateStatus status = with_online(id, [&](hd::VersionedBank& bank) {
+    return bank.add_class(samples, new_class);
+  });
+  if (status == UpdateStatus::kOk)
+    counters_.classes_added.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+UpdateStatus Engine::remove_class_online(const std::string& id,
+                                         std::int64_t class_index) {
+  const UpdateStatus status = with_online(id, [&](hd::VersionedBank& bank) {
+    return bank.remove_class(class_index);
+  });
+  if (status == UpdateStatus::kOk)
+    counters_.classes_removed.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+bool Engine::save_online_snapshot(const std::string& id, const std::string& path,
+                                  std::uint64_t cursor) {
+  ModelEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = registry_.find(id);
+    if (it != registry_.end()) entry = it->second.get();
+  }
+  if (entry == nullptr || entry->bundle->online == nullptr) return false;
+  // Reads only the published snapshot (atomic load) — no lock needed, and
+  // traffic plus concurrent updates proceed undisturbed.
+  if (!entry->bundle->online->save_snapshot(path, id, cursor)) return false;
+  counters_.online_snapshots.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+hd::VersionedBank::RestoreResult Engine::restore_online(const std::string& id,
+                                                        const std::string& path) {
+  hd::VersionedBank::RestoreResult result;
+  ModelEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = registry_.find(id);
+    if (it != registry_.end()) entry = it->second.get();
+  }
+  if (entry == nullptr || entry->bundle->online == nullptr) {
+    result.status = util::LoadStatus::kNotFound;
+    return result;
+  }
+  {
+    // Exclusive, like reload(): a restore is a wholesale swap of the
+    // model's learning state, so in-flight batches drain first and no
+    // update interleaves with it.
+    std::unique_lock<std::shared_mutex> guard(entry->reload_mutex);
+    result = entry->bundle->online->load_snapshot(path, id);
+  }
+  if (result.status == util::LoadStatus::kOk) {
+    counters_.online_restores.fetch_add(1, std::memory_order_relaxed);
+    NSHD_LOG_INFO("serve: restored online bank of '%s' from %s (version %llu)",
+                  id.c_str(), path.c_str(),
+                  static_cast<unsigned long long>(result.version));
+  }
+  return result;
 }
 
 void Engine::shutdown() {
@@ -607,6 +761,13 @@ EngineStats Engine::stats() const {
   s.numeric_faults = get(counters_.numeric_faults);
   s.reloads_ok = get(counters_.reloads_ok);
   s.reloads_failed = get(counters_.reloads_failed);
+  s.updates_ok = get(counters_.updates_ok);
+  s.updates_rolled_back = get(counters_.updates_rolled_back);
+  s.updates_rejected = get(counters_.updates_rejected);
+  s.classes_added = get(counters_.classes_added);
+  s.classes_removed = get(counters_.classes_removed);
+  s.online_snapshots = get(counters_.online_snapshots);
+  s.online_restores = get(counters_.online_restores);
   return s;
 }
 

@@ -50,9 +50,23 @@
 // taking the model's writer lock, so in-flight batches drain on the old
 // weights and traffic resumes on the new ones with no dropped requests.
 //
+// Online learning rides on hd::VersionedBank: a bundle with enable_online()
+// called serves every batch against the bank's latest published snapshot
+// (one atomic shared-ptr load on the read path) while the update submission
+// family — update_online / add_class_online / remove_class_online — mutates
+// shadow copies and publishes new versions behind traffic's back.  Updates
+// take the model's reload_mutex SHARED (they serialize against reload's
+// exclusive swap, not against batch execution) and serialize among
+// themselves on the bank's writer mutex; every rejected or rolled-back
+// update is a typed UpdateStatus and an EngineStats counter, never a
+// corrupted serving bank.  save_online_snapshot / restore_online persist
+// the published version through NSHDKPT1 for kill-resume of a learning
+// stream.
+//
 // Fault sites (see util/fault.hpp): serve.worker_throw, serve.batch_stall,
-// serve.nan_logits, serve.reload_corrupt drive the chaos test matrix
-// (`ctest -L chaos`).
+// serve.nan_logits, serve.reload_corrupt, plus the online trio
+// online.update_nan, online.publish_crash, online.snapshot_corrupt, drive
+// the chaos test matrix (`ctest -L chaos`, `ctest -L online`).
 #pragma once
 
 #include <atomic>
@@ -70,6 +84,7 @@
 #include <vector>
 
 #include "core/nshd.hpp"
+#include "hd/versioned_bank.hpp"
 #include "models/zoo.hpp"
 #include "nn/plan.hpp"
 #include "util/checkpoint.hpp"
@@ -98,6 +113,23 @@ enum class RequestStatus {
                    // result was non-finite with no honest fallback
 };
 const char* to_string(RequestStatus status);
+
+/// Typed outcome of the online-update submission family (update_online,
+/// add_class_online, remove_class_online).  The kNonFinite /
+/// kAccuracyCollapse / kPublishFault rows mirror hd::UpdateStatus: the
+/// update was attempted and rolled back — the previously published bank
+/// version keeps serving, and EngineStats::updates_rolled_back counts it.
+enum class UpdateStatus {
+  kOk,                // new bank version published; traffic now scores it
+  kUnknownModel,      // no model registered under that id
+  kOnlineDisabled,    // bundle was registered without enable_online()
+  kBadArgs,           // size/dim/index mismatch; nothing was mutated
+  kNonFinite,         // rolled back: shadow bank carried NaN/Inf
+  kAccuracyCollapse,  // rolled back: guard holdout accuracy collapsed
+  kPublishFault,      // rolled back: publish step faulted mid-swap
+  kShutdown,          // engine is draining or stopped
+};
+const char* to_string(UpdateStatus status);
 
 /// What caused the batch that carried a response to flush.
 enum class FlushReason {
@@ -164,6 +196,13 @@ struct EngineStats {
   std::uint64_t numeric_faults = 0;  // rows failing the NaN/Inf scan
   std::uint64_t reloads_ok = 0;
   std::uint64_t reloads_failed = 0;
+  std::uint64_t updates_ok = 0;           // online updates published
+  std::uint64_t updates_rolled_back = 0;  // non-finite/collapse/publish-fault
+  std::uint64_t updates_rejected = 0;     // kBadArgs / kOnlineDisabled
+  std::uint64_t classes_added = 0;        // add_class_online publishes
+  std::uint64_t classes_removed = 0;      // remove_class_online publishes
+  std::uint64_t online_snapshots = 0;     // save_online_snapshot commits
+  std::uint64_t online_restores = 0;      // restore_online swaps
 };
 
 /// One servable NSHD deployment: the owned extractor backbone, the NSHD
@@ -179,9 +218,19 @@ struct ModelBundle {
   /// raw cut features the plan already produced.  Train it like the primary
   /// and attach before register_model(); it is never touched by reload().
   std::unique_ptr<core::NshdModel> fallback;
+  /// Online-learning head: present after enable_online().  When set, batch
+  /// execution scores against its latest published snapshot instead of
+  /// nshd.classifier(), and the engine's update submission paths mutate it.
+  std::unique_ptr<hd::VersionedBank> online;
 
   ModelBundle(models::ZooModel zoo_model, std::size_t cut_layer,
               const core::NshdConfig& config, std::int64_t max_batch);
+
+  /// Switches the bundle to online-learning mode, seeding version 0 of the
+  /// versioned bank from the (trained) primary classifier.  Call after
+  /// training and BEFORE register_model — the pointer itself is not
+  /// hot-swappable under traffic (published versions inside it are).
+  void enable_online(hd::UpdateGuard guard = {});
   ModelBundle(const ModelBundle&) = delete;
   ModelBundle& operator=(const ModelBundle&) = delete;
 };
@@ -230,6 +279,43 @@ class Engine {
   /// not match this bundle's architecture or key).
   util::LoadStatus reload(const std::string& id, const std::string& path);
 
+  /// Online update: one MASS epoch over a chunk of stream samples (already
+  /// symbolized into encoder space), verify-then-swap gated by the bank's
+  /// UpdateGuard.  Serialized per model against reload (shared side of
+  /// reload_mutex) and against sibling updates (the bank's writer mutex);
+  /// concurrent batch traffic keeps scoring the previous version until the
+  /// new one publishes.  `train_accuracy` as in hd::VersionedBank.
+  UpdateStatus update_online(const std::string& id,
+                             const std::vector<hd::Hypervector>& samples,
+                             const std::vector<std::int64_t>& labels,
+                             const hd::MassConfig& config,
+                             double* train_accuracy = nullptr);
+
+  /// One-shot class growth under live traffic; responses formed after the
+  /// publish carry K+1 scores.  `new_class` receives the new index on kOk.
+  UpdateStatus add_class_online(const std::string& id,
+                                const std::vector<hd::Hypervector>& samples,
+                                std::int64_t* new_class = nullptr);
+
+  /// Retires a class under live traffic (classes above shift down — the
+  /// caller owns label remapping and guard re-arming, as in VersionedBank).
+  UpdateStatus remove_class_online(const std::string& id,
+                                   std::int64_t class_index);
+
+  /// Commits the model's published bank version to an NSHDKPT1 snapshot
+  /// (crash-safe atomic rename); `cursor` is the learning stream's position
+  /// for kill-resume.  Returns false when the model is unknown, online mode
+  /// is off, or IO fails.
+  bool save_online_snapshot(const std::string& id, const std::string& path,
+                            std::uint64_t cursor = 0);
+
+  /// Restores a save_online_snapshot artifact into the model's versioned
+  /// bank — fully verified before the swap, any failure leaves the live
+  /// bank serving (see hd::VersionedBank::load_snapshot).  Takes the
+  /// model's reload_mutex exclusively, like reload().
+  hd::VersionedBank::RestoreResult restore_online(const std::string& id,
+                                                  const std::string& path);
+
   /// Stops accepting, drains every queued request (they complete with
   /// FlushReason::kDrain, or kTimedOut if their deadline already expired),
   /// and joins the workers.  Idempotent.
@@ -272,8 +358,16 @@ class Engine {
         rejected_shutdown{0}, rejected_unknown{0}, rejected_overload{0},
         batches{0}, max_batch_flushes{0}, deadline_flushes{0}, drain_flushes{0},
         batch_faults{0}, retried{0}, numeric_faults{0}, reloads_ok{0},
-        reloads_failed{0};
+        reloads_failed{0}, updates_ok{0}, updates_rolled_back{0},
+        updates_rejected{0}, classes_added{0}, classes_removed{0},
+        online_snapshots{0}, online_restores{0};
   };
+
+  /// Online-update spine: locates `id`, takes the reload_mutex shared, and
+  /// runs `mutate` against the bundle's VersionedBank, mapping the result
+  /// onto serve::UpdateStatus and the update counters.
+  template <typename Mutate>
+  UpdateStatus with_online(const std::string& id, Mutate&& mutate);
 
   void worker_loop();
   /// Containment wrapper: re-checks deadlines, executes, and on a throw

@@ -104,7 +104,9 @@ std::uint64_t hits(const std::string& site) {
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "checkpoint.bit_flip",    "checkpoint.short_read",
-      "checkpoint.torn_write",  "pretrain.kill",
+      "checkpoint.torn_write",  "online.publish_crash",
+      "online.snapshot_corrupt", "online.update_nan",
+      "pretrain.kill",
       "serve.batch_stall",      "serve.nan_logits",
       "serve.reload_corrupt",   "serve.worker_throw",
       "train.grad_nan",         "train.prefetch_stall",

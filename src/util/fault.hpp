@@ -18,6 +18,9 @@
 //   checkpoint.torn_write   write_checkpoint_file commits a truncated file
 //   checkpoint.bit_flip     write_checkpoint_file flips one payload bit
 //   checkpoint.short_read   read_checkpoint_file drops the file's tail
+//   online.update_nan       hd::VersionedBank shadow bank poisoned post-update
+//   online.publish_crash    hd::VersionedBank publish step throws pre-swap
+//   online.snapshot_corrupt hd::VersionedBank restored bank corrupts in memory
 //   trainer.nan_loss        train_classifier sees a NaN batch loss
 //   pretrain.kill           pretrained_model dies after an epoch checkpoint
 //   serve.worker_throw      serve::Engine batch execution throws mid-batch

@@ -1,0 +1,830 @@
+// Streaming online learning: hd::VersionedBank epoch-swap semantics, the
+// online.* chaos matrix, drift-stream determinism, and the serve::Engine
+// update submission path.
+//
+// The robustness contract under test:
+//   * readers only ever observe bitwise-consistent published versions —
+//     never a torn bank, never a bank paired with another version's norms —
+//     with zero locks on the read path (the TSan property test);
+//   * a failed or poisoned update NEVER corrupts the serving bank: the
+//     previous version stays live, the rollback is a typed status and an
+//     EngineStats counter (online.update_nan / online.publish_crash);
+//   * a killed learning stream resumes bitwise-identically from its last
+//     NSHDKPT1 bank snapshot, and a corrupt snapshot is rejected typed
+//     without touching the live bank (online.snapshot_corrupt).
+//
+// Runs under ASan/TSan/UBSan via the check_* targets (ctest -L online).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/feature_extractor.hpp"
+#include "data/drift_stream.hpp"
+#include "data/synth_cifar.hpp"
+#include "hd/versioned_bank.hpp"
+#include "models/zoo.hpp"
+#include "serve/engine.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace nshd {
+namespace {
+
+using hd::HdClassifier;
+using hd::Hypervector;
+using hd::MassConfig;
+using hd::Similarity;
+using hd::UpdateGuard;
+using hd::UpdateStatus;
+using hd::VersionedBank;
+
+// --- toy HD problem (hd_test idiom) ---
+
+struct ToyProblem {
+  std::vector<Hypervector> train, test;
+  std::vector<std::int64_t> train_labels, test_labels;
+  std::int64_t dim = 0, classes = 0;
+};
+
+ToyProblem make_toy(std::int64_t dim, std::int64_t classes,
+                    std::int64_t per_class, double flip_fraction,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  ToyProblem p;
+  p.dim = dim;
+  p.classes = classes;
+  std::vector<Hypervector> prototypes;
+  for (std::int64_t c = 0; c < classes; ++c)
+    prototypes.push_back(Hypervector::random(dim, rng));
+  const auto noisy = [&](std::int64_t c) {
+    Hypervector h = prototypes[static_cast<std::size_t>(c)];
+    const auto flips =
+        static_cast<std::int64_t>(flip_fraction * static_cast<double>(dim));
+    for (std::int64_t f = 0; f < flips; ++f)
+      h.flip(static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(dim))));
+    return h;
+  };
+  for (std::int64_t c = 0; c < classes; ++c) {
+    for (std::int64_t i = 0; i < per_class; ++i) {
+      p.train.push_back(noisy(c));
+      p.train_labels.push_back(c);
+      p.test.push_back(noisy(c));
+      p.test_labels.push_back(c);
+    }
+  }
+  return p;
+}
+
+/// Trained toy bank: bundling plus a few MASS epochs.
+HdClassifier trained_toy_bank(const ToyProblem& p, std::int64_t epochs = 5) {
+  HdClassifier clf(p.classes, p.dim);
+  clf.bundle_init(p.train, p.train_labels);
+  MassConfig mass;
+  for (std::int64_t e = 0; e < epochs; ++e)
+    clf.mass_epoch(p.train, p.train_labels, mass);
+  return clf;
+}
+
+std::vector<float> bank_bits(const HdClassifier& clf) {
+  const float* data = clf.bank().data();
+  return {data, data + clf.num_classes() * clf.dim()};
+}
+
+::testing::AssertionResult banks_bitwise_equal(const HdClassifier& a,
+                                               const HdClassifier& b) {
+  if (a.num_classes() != b.num_classes() || a.dim() != b.dim())
+    return ::testing::AssertionFailure()
+           << "shape mismatch: [" << a.num_classes() << "," << a.dim()
+           << "] vs [" << b.num_classes() << "," << b.dim() << "]";
+  const std::vector<float> lhs = bank_bits(a), rhs = bank_bits(b);
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (std::memcmp(&lhs[i], &rhs[i], sizeof(float)) != 0)
+      return ::testing::AssertionFailure()
+             << "banks differ at element " << i << ": " << lhs[i] << " vs "
+             << rhs[i];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class Online : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::fault::disarm_all();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nshd_online_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::fault::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+// --- VersionedBank epoch-swap semantics ---
+
+TEST_F(Online, PublishIsolatesSnapshotsAndCountsVersions) {
+  const ToyProblem p = make_toy(1024, 4, 15, 0.25, 31);
+  VersionedBank bank(trained_toy_bank(p));
+  EXPECT_EQ(bank.version(), 0u);
+
+  // A snapshot taken before an update must be bitwise-unchanged after it.
+  const VersionedBank::Snapshot before = bank.snapshot();
+  const std::vector<float> before_bits = bank_bits(before->bank);
+
+  MassConfig mass;
+  double train_accuracy = 0.0;
+  ASSERT_EQ(bank.mass_epoch(p.train, p.train_labels, mass, &train_accuracy),
+            UpdateStatus::kOk);
+  EXPECT_GT(train_accuracy, 0.9);
+  EXPECT_EQ(bank.version(), 1u);
+  EXPECT_EQ(before->version, 0u);
+  EXPECT_EQ(bank_bits(before->bank), before_bits);
+
+  // Structural growth and retirement publish too.
+  std::vector<Hypervector> shots(p.train.begin(), p.train.begin() + 5);
+  std::int64_t new_class = -1;
+  ASSERT_EQ(bank.add_class(shots, &new_class), UpdateStatus::kOk);
+  EXPECT_EQ(new_class, 4);
+  EXPECT_EQ(bank.num_classes(), 5);
+  EXPECT_EQ(bank.version(), 2u);
+  ASSERT_EQ(bank.remove_class(4), UpdateStatus::kOk);
+  EXPECT_EQ(bank.num_classes(), 4);
+  EXPECT_EQ(bank.version(), 3u);
+
+  // The original snapshot still scores correctly on its own epoch.
+  EXPECT_GT(before->bank.evaluate(p.test, p.test_labels), 0.9);
+}
+
+TEST_F(Online, RemoveClassShiftsRowsAndKeepsNormsFresh) {
+  const ToyProblem p = make_toy(512, 4, 10, 0.2, 37);
+  HdClassifier clf = trained_toy_bank(p);
+  const std::vector<float> bits = bank_bits(clf);
+  const std::vector<float> norms = clf.class_norms();
+
+  clf.remove_class(1);
+  ASSERT_EQ(clf.num_classes(), 3);
+  // Rows 0, 2, 3 survive as 0, 1, 2 — bitwise.
+  const std::int64_t d = clf.dim();
+  for (std::int64_t r = 0; r < 3; ++r) {
+    const std::int64_t src = r == 0 ? 0 : r + 1;
+    for (std::int64_t i = 0; i < d; ++i)
+      ASSERT_EQ(clf.class_vector(r)[i], bits[static_cast<std::size_t>(src * d + i)]);
+  }
+  // Cached norms were erased in step (not invalidated): the survivors'
+  // norms are the old values exactly, and cosine scoring stays correct.
+  const std::vector<float>& after = clf.class_norms();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[0], norms[0]);
+  EXPECT_EQ(after[1], norms[2]);
+  EXPECT_EQ(after[2], norms[3]);
+  for (std::size_t i = 0; i < p.test.size(); ++i) {
+    if (p.test_labels[i] == 0) {
+      EXPECT_EQ(clf.predict(p.test[i]), 0);
+      break;
+    }
+  }
+}
+
+TEST_F(Online, BadArgsRejectedWithoutPublishing) {
+  const ToyProblem p = make_toy(512, 3, 8, 0.2, 41);
+  VersionedBank bank(trained_toy_bank(p));
+  MassConfig mass;
+
+  // Size mismatch, label out of range, wrong dim, bad remove index: all
+  // typed rejections, no version published.
+  EXPECT_EQ(bank.mass_epoch({}, {}, mass), UpdateStatus::kBadArgs);
+  std::vector<std::int64_t> bad_labels = p.train_labels;
+  bad_labels[0] = 99;
+  EXPECT_EQ(bank.mass_epoch(p.train, bad_labels, mass), UpdateStatus::kBadArgs);
+  util::Rng rng(7);
+  EXPECT_EQ(bank.apply_update(Hypervector::random(64, rng), {1.0f, 0.0f, 0.0f}, 0.1f),
+            UpdateStatus::kBadArgs);
+  EXPECT_EQ(bank.apply_update(p.train[0], {1.0f, 0.0f}, 0.1f),
+            UpdateStatus::kBadArgs);
+  EXPECT_EQ(bank.remove_class(3), UpdateStatus::kBadArgs);
+  EXPECT_EQ(bank.remove_class(-1), UpdateStatus::kBadArgs);
+  EXPECT_EQ(bank.add_class({}), UpdateStatus::kBadArgs);
+  EXPECT_EQ(bank.version(), 0u);
+}
+
+TEST_F(Online, UpdateNanRollsBackToPublishedVersion) {
+  const ToyProblem p = make_toy(512, 3, 10, 0.2, 43);
+  VersionedBank bank(trained_toy_bank(p));
+  const VersionedBank::Snapshot before = bank.snapshot();
+
+  util::fault::arm("online.update_nan");
+  MassConfig mass;
+  EXPECT_EQ(bank.mass_epoch(p.train, p.train_labels, mass),
+            UpdateStatus::kNonFinite);
+  EXPECT_GE(util::fault::hits("online.update_nan"), 1u);
+
+  // Rollback: same version, bitwise-identical bank, still finite, still
+  // scoring.
+  EXPECT_EQ(bank.version(), 0u);
+  const VersionedBank::Snapshot after = bank.snapshot();
+  EXPECT_TRUE(banks_bitwise_equal(before->bank, after->bank));
+  EXPECT_TRUE(after->bank.bank_finite());
+  EXPECT_GT(after->bank.evaluate(p.test, p.test_labels), 0.9);
+
+  // The next (clean) update publishes normally.
+  util::fault::disarm_all();
+  EXPECT_EQ(bank.mass_epoch(p.train, p.train_labels, mass), UpdateStatus::kOk);
+  EXPECT_EQ(bank.version(), 1u);
+}
+
+TEST_F(Online, AccuracyGuardRollsBackCollapsingUpdate) {
+  const ToyProblem p = make_toy(1024, 4, 15, 0.2, 47);
+  VersionedBank bank(trained_toy_bank(p));
+  UpdateGuard guard;
+  guard.holdout = p.test;
+  guard.holdout_labels = p.test_labels;
+  guard.max_accuracy_drop = 0.10;
+  bank.set_guard(guard);
+
+  // A benign update passes the gate.
+  MassConfig mass;
+  ASSERT_EQ(bank.mass_epoch(p.train, p.train_labels, mass), UpdateStatus::kOk);
+  EXPECT_EQ(bank.version(), 1u);
+
+  // A poisoned chunk — labels rotated, huge learning rate — collapses
+  // holdout accuracy and must roll back.
+  std::vector<std::int64_t> rotated = p.train_labels;
+  for (std::int64_t& label : rotated) label = (label + 1) % p.classes;
+  MassConfig poison;
+  poison.learning_rate = 10.0f;
+  EXPECT_EQ(bank.mass_epoch(p.train, rotated, poison),
+            UpdateStatus::kAccuracyCollapse);
+  EXPECT_EQ(bank.version(), 1u);
+  EXPECT_GT(bank.snapshot()->bank.evaluate(p.test, p.test_labels), 0.9);
+}
+
+TEST_F(Online, PublishCrashLeavesPreviousVersionLive) {
+  const ToyProblem p = make_toy(512, 3, 10, 0.2, 53);
+  VersionedBank bank(trained_toy_bank(p));
+  const std::vector<float> before = bank_bits(bank.snapshot()->bank);
+
+  util::fault::arm("online.publish_crash");
+  MassConfig mass;
+  EXPECT_EQ(bank.mass_epoch(p.train, p.train_labels, mass),
+            UpdateStatus::kPublishFault);
+  EXPECT_GE(util::fault::hits("online.publish_crash"), 1u);
+  EXPECT_EQ(bank.version(), 0u);
+  EXPECT_EQ(bank_bits(bank.snapshot()->bank), before);
+
+  util::fault::disarm_all();
+  EXPECT_EQ(bank.mass_epoch(p.train, p.train_labels, mass), UpdateStatus::kOk);
+  EXPECT_EQ(bank.version(), 1u);
+}
+
+// --- kill-resume from NSHDKPT1 snapshots ---
+
+/// Deterministic per-step toy chunk: the resume property needs chunks that
+/// depend only on (seed, step), mirroring data::DriftStream.
+std::vector<Hypervector> toy_chunk(std::int64_t dim, std::int64_t step,
+                                   std::vector<std::int64_t>* labels) {
+  util::Rng rng(900 + static_cast<std::uint64_t>(step));
+  std::vector<Hypervector> chunk;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    chunk.push_back(Hypervector::random(dim, rng));
+    labels->push_back(i % 3);
+  }
+  return chunk;
+}
+
+TEST_F(Online, KillResumeFromSnapshotIsBitwise) {
+  const ToyProblem p = make_toy(512, 3, 10, 0.2, 59);
+  const HdClassifier seed_bank = trained_toy_bank(p);
+  MassConfig mass;
+  mass.learning_rate = 0.05f;
+
+  // Full stream: steps 0..9, snapshot committed after step 4.
+  VersionedBank full(seed_bank);
+  const std::string snap = path("stream.nshdkpt");
+  for (std::int64_t step = 0; step < 10; ++step) {
+    std::vector<std::int64_t> labels;
+    const std::vector<Hypervector> chunk = toy_chunk(512, step, &labels);
+    ASSERT_EQ(full.mass_epoch(chunk, labels, mass), UpdateStatus::kOk);
+    if (step == 4) {
+      ASSERT_TRUE(full.save_snapshot(snap, "stream", /*cursor=*/step + 1));
+    }
+  }
+
+  // Killed stream: a fresh bank restores the snapshot and replays from the
+  // stored cursor.  Bitwise-identical end state, version counter included.
+  VersionedBank resumed(seed_bank);
+  const VersionedBank::RestoreResult restore =
+      resumed.load_snapshot(snap, "stream");
+  ASSERT_EQ(restore.status, util::LoadStatus::kOk);
+  EXPECT_EQ(restore.version, 5u);
+  EXPECT_EQ(restore.cursor, 5u);
+  for (std::int64_t step = static_cast<std::int64_t>(restore.cursor); step < 10;
+       ++step) {
+    std::vector<std::int64_t> labels;
+    const std::vector<Hypervector> chunk = toy_chunk(512, step, &labels);
+    ASSERT_EQ(resumed.mass_epoch(chunk, labels, mass), UpdateStatus::kOk);
+  }
+  EXPECT_EQ(resumed.version(), full.version());
+  EXPECT_TRUE(banks_bitwise_equal(resumed.snapshot()->bank,
+                                  full.snapshot()->bank));
+}
+
+TEST_F(Online, CorruptSnapshotRestoreLeavesLiveBank) {
+  const ToyProblem p = make_toy(512, 3, 10, 0.2, 61);
+  VersionedBank bank(trained_toy_bank(p));
+  const std::string snap = path("bank.nshdkpt");
+  ASSERT_TRUE(bank.save_snapshot(snap, "bank", 3));
+
+  MassConfig mass;
+  ASSERT_EQ(bank.mass_epoch(p.train, p.train_labels, mass), UpdateStatus::kOk);
+  const std::vector<float> live = bank_bits(bank.snapshot()->bank);
+
+  // In-memory corruption of the restored payload: typed kNonFinite, live
+  // bank untouched.
+  util::fault::arm("online.snapshot_corrupt");
+  EXPECT_EQ(bank.load_snapshot(snap, "bank").status, util::LoadStatus::kNonFinite);
+  EXPECT_GE(util::fault::hits("online.snapshot_corrupt"), 1u);
+  EXPECT_EQ(bank.version(), 1u);
+  EXPECT_EQ(bank_bits(bank.snapshot()->bank), live);
+
+  // Wrong identity key is a typed mismatch, same containment.
+  util::fault::disarm_all();
+  EXPECT_EQ(bank.load_snapshot(snap, "other").status,
+            util::LoadStatus::kShapeMismatch);
+  EXPECT_EQ(bank.version(), 1u);
+
+  // Clean restore works and rewinds to the snapshot.
+  const VersionedBank::RestoreResult restore = bank.load_snapshot(snap, "bank");
+  ASSERT_EQ(restore.status, util::LoadStatus::kOk);
+  EXPECT_EQ(restore.version, 0u);
+  EXPECT_EQ(restore.cursor, 3u);
+  EXPECT_EQ(bank.version(), 0u);
+}
+
+// --- the TSan property test: concurrent readers vs a mutating writer ---
+
+TEST_F(Online, ConcurrentReadersObserveOnlyPublishedVersions) {
+  const std::int64_t dim = 256;
+  const ToyProblem p = make_toy(dim, 4, 8, 0.25, 71);
+  VersionedBank bank(trained_toy_bank(p, /*epochs=*/2));
+
+  // The writer records every version it publishes (version 0 included);
+  // readers sample what they observe; the post-join check is that every
+  // observation matches a recorded publication bitwise.
+  std::map<std::uint64_t, std::vector<float>> published;
+  published[0] = bank_bits(bank.snapshot()->bank);
+
+  struct Observation {
+    std::uint64_t version;
+    std::vector<float> bits;
+    std::vector<float> norms;
+  };
+  constexpr int kReaders = 4;
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::atomic<bool> stop{false};
+  std::atomic<int> monotonicity_violations{0};
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> recorded[kReaders] = {};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_version = 0;
+      int iteration = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const VersionedBank::Snapshot snap = bank.snapshot();
+        if (snap->version < last_version)
+          monotonicity_violations.fetch_add(1, std::memory_order_relaxed);
+        last_version = snap->version;
+
+        // Hammer the read path: batched similarities twice off the same
+        // snapshot must be bitwise identical (immutable epoch, warm norms).
+        const tensor::Tensor a =
+            snap->bank.similarities_all(p.test, Similarity::kCosine);
+        const tensor::Tensor b =
+            snap->bank.similarities_all(p.test, Similarity::kCosine);
+        if (std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)) != 0)
+          torn_reads.fetch_add(1, std::memory_order_relaxed);
+        (void)snap->bank.predict_all(p.test, Similarity::kCosine);
+
+        if (iteration++ % 4 == 0) {
+          Observation obs;
+          obs.version = snap->version;
+          obs.bits = bank_bits(snap->bank);
+          obs.norms = snap->bank.class_norms();
+          observations[static_cast<std::size_t>(r)].push_back(std::move(obs));
+          recorded[r].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Writer: weight updates interleaved with class growth and retirement.
+  // Base labels stay in [0, 4), so mass_epoch stays valid while classes
+  // beyond 4 come and go.
+  MassConfig mass;
+  mass.learning_rate = 0.02f;
+  std::vector<Hypervector> shots(p.train.begin(), p.train.begin() + 4);
+  for (int i = 0; i < 24; ++i) {
+    UpdateStatus status;
+    if (i % 7 == 3) {
+      status = bank.add_class(shots);
+    } else if (i % 7 == 6 && bank.num_classes() > 4) {
+      status = bank.remove_class(bank.num_classes() - 1);
+    } else {
+      status = bank.mass_epoch(p.train, p.train_labels, mass);
+    }
+    ASSERT_EQ(status, UpdateStatus::kOk);
+    const VersionedBank::Snapshot snap = bank.snapshot();
+    published[snap->version] = bank_bits(snap->bank);
+  }
+  // Under machine load the writer can finish before the readers are even
+  // scheduled; keep the readers running until each has recorded a few
+  // observations so the post-join property has something to check.
+  const auto record_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int r = 0; r < kReaders; ++r) {
+    while (recorded[r].load(std::memory_order_relaxed) < 2 &&
+           std::chrono::steady_clock::now() < record_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(monotonicity_violations.load(), 0);
+  EXPECT_EQ(torn_reads.load(), 0);
+
+  // Every observation is exactly one published version: bitwise bank match
+  // and norms consistent with that bank (no mixed old-bank/new-norms
+  // states).
+  std::size_t checked = 0;
+  for (const auto& reader_observations : observations) {
+    for (const Observation& obs : reader_observations) {
+      const auto it = published.find(obs.version);
+      ASSERT_NE(it, published.end())
+          << "reader observed unpublished version " << obs.version;
+      ASSERT_EQ(obs.bits, it->second)
+          << "torn bank at version " << obs.version;
+      const std::int64_t classes =
+          static_cast<std::int64_t>(obs.norms.size());
+      ASSERT_EQ(static_cast<std::size_t>(classes) * dim, obs.bits.size());
+      for (std::int64_t c = 0; c < classes; ++c) {
+        double sq = 0.0;
+        for (std::int64_t d = 0; d < dim; ++d) {
+          const double v = obs.bits[static_cast<std::size_t>(c * dim + d)];
+          sq += v * v;
+        }
+        const double expect = std::sqrt(sq);
+        ASSERT_NEAR(obs.norms[static_cast<std::size_t>(c)], expect,
+                    1e-3 * std::max(1.0, expect))
+            << "norms inconsistent with bank at version " << obs.version;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// --- drift streams ---
+
+TEST_F(Online, DriftStreamChunksAreDeterministic) {
+  data::DriftStreamConfig config;
+  config.base.num_classes = 4;
+  config.base.samples_per_class = 4;
+  config.mode = data::DriftMode::kShift;
+  config.steps = 6;
+  config.chunk_size = 16;
+  const data::DriftStream a(config);
+  const data::DriftStream b(config);
+  for (std::int64_t step = 0; step < config.steps; step += 2) {
+    const data::DriftChunk ca = a.chunk(step);
+    const data::DriftChunk cb = b.chunk(step);
+    ASSERT_EQ(ca.data.size(), 16);
+    ASSERT_EQ(ca.data.labels, cb.data.labels);
+    ASSERT_EQ(ca.clean_labels, cb.clean_labels);
+    ASSERT_EQ(std::memcmp(ca.data.images.data(), cb.data.images.data(),
+                          static_cast<std::size_t>(ca.data.images.numel()) *
+                              sizeof(float)),
+              0)
+        << "chunk " << step << " not bitwise deterministic";
+  }
+  // Chunks at different steps differ (the stream actually moves).
+  const data::DriftChunk first = a.chunk(0);
+  const data::DriftChunk last = a.chunk(config.steps - 1);
+  EXPECT_NE(std::memcmp(first.data.images.data(), last.data.images.data(),
+                        static_cast<std::size_t>(first.data.images.numel()) *
+                            sizeof(float)),
+            0);
+  EXPECT_FLOAT_EQ(last.drift01, 1.0f);
+}
+
+TEST_F(Online, DriftStreamLabelNoiseRampsAndNovelClassesAppear) {
+  data::DriftStreamConfig noise;
+  noise.base.num_classes = 4;
+  noise.mode = data::DriftMode::kLabelNoise;
+  noise.steps = 8;
+  noise.chunk_size = 64;
+  noise.label_noise_start = 0.0f;
+  noise.label_noise_end = 0.6f;
+  const data::DriftStream noisy(noise);
+  const data::DriftChunk clean = noisy.chunk(0);
+  EXPECT_EQ(clean.data.labels, clean.clean_labels);
+  const data::DriftChunk dirty = noisy.chunk(7);
+  EXPECT_FLOAT_EQ(dirty.label_noise, 0.6f);
+  std::int64_t flipped = 0;
+  for (std::size_t i = 0; i < dirty.clean_labels.size(); ++i)
+    if (dirty.data.labels[i] != dirty.clean_labels[i]) ++flipped;
+  // ~60% of 64 labels; loose bounds keep this deterministic-but-robust.
+  EXPECT_GT(flipped, 20);
+  EXPECT_LT(flipped, 60);
+
+  data::DriftStreamConfig novel;
+  novel.base.num_classes = 4;
+  novel.mode = data::DriftMode::kNovelClass;
+  novel.steps = 6;
+  novel.chunk_size = 48;
+  novel.novel_classes = 2;
+  novel.novel_class_at = 3;
+  const data::DriftStream growing(novel);
+  EXPECT_EQ(growing.total_classes(), 6);
+  const data::DriftChunk before = growing.chunk(2);
+  EXPECT_EQ(before.data.num_classes, 4);
+  for (const std::int64_t label : before.data.labels) EXPECT_LT(label, 4);
+  const data::DriftChunk after = growing.chunk(3);
+  EXPECT_EQ(after.data.num_classes, 6);
+  std::int64_t novel_samples = 0;
+  for (const std::int64_t label : after.data.labels)
+    if (label >= 4) ++novel_samples;
+  EXPECT_GT(novel_samples, 0);
+}
+
+// --- serve::Engine online-update submission path ---
+
+using serve::Engine;
+using serve::EngineConfig;
+using serve::ModelBundle;
+using serve::RequestStatus;
+using serve::Response;
+using serve::SubmitStatus;
+
+constexpr std::int64_t kClasses = 4;
+constexpr std::size_t kCut = 4;
+
+data::Dataset tiny_dataset(std::int64_t per_class = 8, std::uint64_t seed = 42) {
+  data::SynthCifarConfig config;
+  config.num_classes = kClasses;
+  config.samples_per_class = per_class;
+  config.seed = seed;
+  return data::make_synth_cifar(config);
+}
+
+std::unique_ptr<ModelBundle> make_online_bundle(std::int64_t max_batch) {
+  core::NshdConfig nshd_config;
+  nshd_config.dim = 512;
+  nshd_config.manifold_features = 32;
+  nshd_config.epochs = 2;
+  nshd_config.use_kd = false;
+  nshd_config.train_manifold = false;
+  auto bundle = std::make_unique<ModelBundle>(
+      models::make_model("mobilenetv2s", kClasses, /*seed=*/7), kCut,
+      nshd_config, max_batch);
+  const data::Dataset train = tiny_dataset();
+  const core::ExtractedFeatures features =
+      core::extract_features(bundle->plan, train, max_batch);
+  bundle->nshd.train(features, train.labels, /*teacher_logits=*/nullptr);
+  bundle->enable_online();
+  return bundle;
+}
+
+/// Symbolizes a dataset through the bundle's encoder using a private
+/// extraction plan (the bundle's own plan may be busy serving traffic).
+std::vector<Hypervector> symbolize_dataset(ModelBundle& bundle,
+                                           const data::Dataset& ds) {
+  const core::ExtractedFeatures features =
+      core::extract_features(bundle.zoo, kCut, ds, 16);
+  return bundle.nshd.symbolize_all(features);
+}
+
+TEST_F(Online, EngineServesAcrossOnlineUpdatesAndClassGrowth) {
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 8;
+  config.batch_deadline_ms = 0.5;
+  Engine engine(config);
+  auto bundle = make_online_bundle(config.max_batch);
+  ModelBundle& model = *bundle;
+  engine.register_model("m", std::move(bundle));
+
+  const data::Dataset traffic = tiny_dataset(/*per_class=*/6, /*seed=*/77);
+
+  // Stream setup: novel class 4 appears immediately; old classes keep
+  // flowing.
+  data::DriftStreamConfig stream_config;
+  stream_config.base.num_classes = kClasses;
+  stream_config.mode = data::DriftMode::kNovelClass;
+  stream_config.steps = 2;
+  stream_config.chunk_size = 32;
+  stream_config.novel_classes = 1;
+  stream_config.novel_class_at = 0;
+  const data::DriftStream stream(stream_config);
+
+  // Symbolize the learning chunk before traffic starts (the extraction
+  // borrows the bundle's zoo weights).
+  const data::DriftChunk chunk = stream.chunk(0);
+  const std::vector<Hypervector> queries = symbolize_dataset(model, chunk.data);
+
+  // Concurrent traffic while the updates run.
+  std::atomic<bool> stop{false};
+  std::vector<std::future<Response>> futures;
+  std::mutex futures_mutex;
+  std::thread submitter([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::future<Response> future;
+      if (engine.submit("m", traffic.sample(i % traffic.size()), &future) ==
+          SubmitStatus::kOk) {
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(future));
+      }
+      ++i;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // The learning stream: grow the bank by the novel class, then run MASS
+  // chunks over the full label space.
+  std::vector<Hypervector> novel_shots;
+  std::vector<Hypervector> known;
+  std::vector<std::int64_t> known_labels;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (chunk.data.labels[i] >= kClasses) {
+      novel_shots.push_back(queries[i]);
+    } else {
+      known.push_back(queries[i]);
+      known_labels.push_back(chunk.data.labels[i]);
+    }
+  }
+  ASSERT_FALSE(novel_shots.empty());
+
+  std::int64_t new_class = -1;
+  ASSERT_EQ(engine.add_class_online("m", novel_shots, &new_class),
+            serve::UpdateStatus::kOk);
+  EXPECT_EQ(new_class, kClasses);
+  MassConfig mass;
+  mass.learning_rate = 0.02f;
+  ASSERT_EQ(engine.update_online("m", known, known_labels, mass),
+            serve::UpdateStatus::kOk);
+  ASSERT_EQ(engine.update_online("m", known, known_labels, mass),
+            serve::UpdateStatus::kOk);
+  EXPECT_EQ(model.online->num_classes(), kClasses + 1);
+  EXPECT_EQ(model.online->version(), 3u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  submitter.join();
+  engine.shutdown();
+
+  // Every accepted request resolved typed; responses are finite and carry
+  // either the old (4) or grown (5) class count, never a torn in-between.
+  std::uint64_t ok = 0;
+  for (std::future<Response>& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    const Response response = future.get();
+    if (response.status != RequestStatus::kOk) continue;
+    ++ok;
+    ASSERT_TRUE(response.scores.size() == static_cast<std::size_t>(kClasses) ||
+                response.scores.size() == static_cast<std::size_t>(kClasses + 1))
+        << "response carries " << response.scores.size() << " scores";
+    for (const float score : response.scores) ASSERT_TRUE(std::isfinite(score));
+  }
+  EXPECT_GT(ok, 0u);
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.updates_ok, 3u);  // add_class + two mass chunks
+  EXPECT_EQ(stats.classes_added, 1u);
+  EXPECT_EQ(stats.updates_rolled_back, 0u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.timed_out +
+                                 stats.internal_errors);
+}
+
+TEST_F(Online, EnginePoisonedUpdateNeverCorruptsServing) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.batch_deadline_ms = 0.5;
+  Engine engine(config);
+  auto bundle = make_online_bundle(config.max_batch);
+  ModelBundle& model = *bundle;
+  engine.register_model("m", std::move(bundle));
+
+  const data::Dataset traffic = tiny_dataset(/*per_class=*/4, /*seed=*/88);
+  const std::vector<Hypervector> queries = symbolize_dataset(model, traffic);
+  const std::vector<float> before = bank_bits(model.online->snapshot()->bank);
+
+  // Poisoned weight update: typed rollback, counted, serving bank
+  // bitwise-unchanged.
+  util::fault::arm("online.update_nan");
+  MassConfig mass;
+  EXPECT_EQ(engine.update_online("m", queries, traffic.labels, mass),
+            serve::UpdateStatus::kNonFinite);
+  util::fault::disarm_all();
+
+  // Publish-step crash: same containment, distinct typed status.
+  util::fault::arm("online.publish_crash");
+  EXPECT_EQ(engine.update_online("m", queries, traffic.labels, mass),
+            serve::UpdateStatus::kPublishFault);
+  util::fault::disarm_all();
+
+  EXPECT_EQ(model.online->version(), 0u);
+  EXPECT_EQ(bank_bits(model.online->snapshot()->bank), before);
+  const serve::EngineStats mid = engine.stats();
+  EXPECT_EQ(mid.updates_rolled_back, 2u);
+  EXPECT_EQ(mid.updates_ok, 0u);
+
+  // Traffic after the rollbacks serves healthy.
+  std::vector<std::future<Response>> futures;
+  for (std::int64_t i = 0; i < traffic.size(); ++i) {
+    std::future<Response> future;
+    ASSERT_EQ(engine.submit("m", traffic.sample(i), &future), SubmitStatus::kOk);
+    futures.push_back(std::move(future));
+  }
+  engine.shutdown();
+  for (std::future<Response>& future : futures) {
+    const Response response = future.get();
+    ASSERT_EQ(response.status, RequestStatus::kOk);
+    for (const float score : response.scores) ASSERT_TRUE(std::isfinite(score));
+  }
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.timed_out +
+                                 stats.internal_errors);
+}
+
+TEST_F(Online, EngineSnapshotRestoreRoundTrip) {
+  EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  Engine engine(config);
+  auto bundle = make_online_bundle(config.max_batch);
+  ModelBundle& model = *bundle;
+  engine.register_model("m", std::move(bundle));
+
+  const data::Dataset chunk = tiny_dataset(/*per_class=*/4, /*seed=*/99);
+  const std::vector<Hypervector> queries = symbolize_dataset(model, chunk);
+  MassConfig mass;
+  mass.learning_rate = 0.02f;
+
+  // Update, snapshot (cursor 7), then keep learning.
+  ASSERT_EQ(engine.update_online("m", queries, chunk.labels, mass),
+            serve::UpdateStatus::kOk);
+  const std::string snap = path("engine.nshdkpt");
+  ASSERT_TRUE(engine.save_online_snapshot("m", snap, /*cursor=*/7));
+  const std::vector<float> at_snapshot = bank_bits(model.online->snapshot()->bank);
+  ASSERT_EQ(engine.update_online("m", queries, chunk.labels, mass),
+            serve::UpdateStatus::kOk);
+  ASSERT_EQ(engine.update_online("m", queries, chunk.labels, mass),
+            serve::UpdateStatus::kOk);
+  EXPECT_NE(bank_bits(model.online->snapshot()->bank), at_snapshot);
+
+  // Restore rewinds the serving bank to the snapshot, bitwise.
+  const hd::VersionedBank::RestoreResult restore =
+      engine.restore_online("m", snap);
+  ASSERT_EQ(restore.status, util::LoadStatus::kOk);
+  EXPECT_EQ(restore.version, 1u);
+  EXPECT_EQ(restore.cursor, 7u);
+  EXPECT_EQ(model.online->version(), 1u);
+  EXPECT_EQ(bank_bits(model.online->snapshot()->bank), at_snapshot);
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.online_snapshots, 1u);
+  EXPECT_EQ(stats.online_restores, 1u);
+
+  // Unknown model / online-disabled paths are typed, not crashes.
+  EXPECT_FALSE(engine.save_online_snapshot("nope", snap));
+  EXPECT_EQ(engine.restore_online("nope", snap).status,
+            util::LoadStatus::kNotFound);
+  EXPECT_EQ(engine.update_online("nope", queries, chunk.labels, mass),
+            serve::UpdateStatus::kUnknownModel);
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace nshd
