@@ -7,6 +7,10 @@
 // Paper shape: D >= 3000 matches the CNN-level plateau, D = 1000 loses only
 // ~1.64% on average while cutting HD parameters by a further 20% (3K is
 // already 70% smaller than 10K).
+//
+// Each row also evaluates the trained head on int8-extracted features
+// (the deployment configuration the FPGA throughput column models); a top-1
+// drop beyond --max_drop_pp (default 1.0) percentage points is FATAL.
 #include "bench_common.hpp"
 #include "hw/census.hpp"
 #include "hw/fpga.hpp"
@@ -16,6 +20,7 @@ int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kInfo);
   const util::CliArgs args(argc, argv);
   const std::string name = args.get("model", "efficientnet_b0s");
+  const double max_drop_pp = args.get_double("max_drop_pp", 1.0);
 
   core::ExperimentContext context(bench::config_from_args(args));
   models::ZooModel& m = context.model(name);
@@ -36,15 +41,29 @@ int main(int argc, char** argv) {
   };
   const double params_10k = hd_params(10000);
 
-  util::Table table({"D", "NSHD acc", "vs CNN", "FPGA FPS", "HD params vs 10K"});
+  util::Table table({"D", "NSHD acc", "int8 acc", "vs CNN", "FPGA FPS",
+                     "HD params vs 10K"});
+  bool gate_failed = false;
   for (std::int64_t dim : dims) {
     core::NshdConfig config;
     config.dim = dim;
-    const auto run = context.run_nshd(name, cut, config);
+    const auto run = context.run_nshd(name, cut, config, /*with_quantized=*/true);
+    if (!run.failed) {
+      const double drop_pp =
+          (run.test_accuracy - run.quantized_test_accuracy) * 100.0;
+      if (drop_pp > max_drop_pp) {
+        std::fprintf(stderr,
+                     "FATAL: D=%lld int8 top-1 drop %.2fpp exceeds %.2fpp\n",
+                     static_cast<long long>(dim), drop_pp, max_drop_pp);
+        gate_failed = true;
+      }
+    }
     const double fps = fpga.nshd_fps(
         hw::nshd_census(m, cut, dim, 100, context.num_classes()), cut + 1);
     table.add_row({util::cell(static_cast<int>(dim)),
                    bench::run_cell(run),
+                   run.failed ? "FAILED"
+                              : util::cell(run.quantized_test_accuracy, 4),
                    run.failed
                        ? "n/a"
                        : util::cell((run.test_accuracy - cnn_acc) * 100.0, 2) + "pp",
@@ -56,7 +75,7 @@ int main(int argc, char** argv) {
               table);
   std::printf("CNN reference accuracy: %.4f. Shape check: accuracy plateaus "
               "by D=3000, D=1000 drops slightly, throughput and parameter "
-              "savings rise as D falls.\n",
-              cnn_acc);
-  return 0;
+              "savings rise as D falls; int8 within %.1fpp of f32 at every D.\n",
+              cnn_acc, max_drop_pp);
+  return gate_failed ? 1 : 0;
 }

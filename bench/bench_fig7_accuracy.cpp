@@ -7,6 +7,11 @@
 // BaselineHD is clearly below NSHD; NSHD approaches (and at deep cuts can
 // match or exceed) the CNN.
 //
+// The NSHD column also carries a quantized arm: the same trained HD head
+// evaluated on int8-extracted features.  A top-1 drop beyond --max_drop_pp
+// (default 1.0) percentage points on any row is FATAL — the accuracy gate of
+// the int8 deployment path.
+//
 // First run pretrains the teachers (cached on disk afterwards).
 #include "bench_common.hpp"
 
@@ -15,11 +20,14 @@ int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kInfo);
   const util::CliArgs args(argc, argv);
   const std::int64_t dim = args.get_int("dim", 3000);
+  const double max_drop_pp = args.get_double("max_drop_pp", 1.0);
 
   core::ExperimentContext context(bench::config_from_args(args));
 
-  util::Table table({"model", "layer", "VanillaHD", "BaselineHD", "NSHD", "CNN"});
+  util::Table table({"model", "layer", "VanillaHD", "BaselineHD", "NSHD",
+                     "NSHD-int8", "CNN"});
   const double vanilla = context.vanilla_hd_accuracy(dim);
+  bool gate_failed = false;
 
   for (const std::string& name : bench::models_from_args(args)) {
     models::ZooModel& m = context.model(name);
@@ -27,18 +35,33 @@ int main(int argc, char** argv) {
     for (std::size_t cut : m.paper_cut_layers) {
       core::NshdConfig nshd_config;
       nshd_config.dim = dim;
-      const auto nshd = context.run_nshd(name, cut, nshd_config);
+      const auto nshd =
+          context.run_nshd(name, cut, nshd_config, /*with_quantized=*/true);
       const auto baseline =
           context.run_nshd(name, cut, core::baseline_hd_config(dim));
+      if (!nshd.failed) {
+        const double drop_pp =
+            (nshd.test_accuracy - nshd.quantized_test_accuracy) * 100.0;
+        if (drop_pp > max_drop_pp) {
+          std::fprintf(stderr,
+                       "FATAL: %s layer %zu int8 top-1 drop %.2fpp exceeds %.2fpp\n",
+                       name.c_str(), cut, drop_pp, max_drop_pp);
+          gate_failed = true;
+        }
+      }
       table.add_row({models::display_name(name), util::cell(static_cast<int>(cut)),
                      util::cell(vanilla, 4), bench::run_cell(baseline),
-                     bench::run_cell(nshd), util::cell(cnn_acc, 4)});
+                     bench::run_cell(nshd),
+                     nshd.failed ? "FAILED"
+                                 : util::cell(nshd.quantized_test_accuracy, 4),
+                     util::cell(cnn_acc, 4)});
     }
   }
   bench::emit("Fig. 7: accuracy comparison on SynthCIFAR-" +
                   std::to_string(context.num_classes()),
               table);
   std::printf("Shape check: VanillaHD << BaselineHD <= NSHD ~= CNN "
-              "(paper: VanillaHD 39.88%%/19.7%% on CIFAR-10/100).\n");
-  return 0;
+              "(paper: VanillaHD 39.88%%/19.7%% on CIFAR-10/100); "
+              "NSHD-int8 within %.1fpp of NSHD.\n", max_drop_pp);
+  return gate_failed ? 1 : 0;
 }

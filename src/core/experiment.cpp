@@ -56,6 +56,36 @@ nn::InferencePlan& ExperimentContext::full_plan(const std::string& name) {
   return plan(name, m.net.size() - 1);
 }
 
+nn::QuantizedInferencePlan& ExperimentContext::quantized_plan(
+    const std::string& name, std::size_t cut) {
+  const std::string key = name + "|cut=" + std::to_string(cut);
+  auto it = qplans_.find(key);
+  if (it != qplans_.end()) return *it->second;
+  models::ZooModel& m = model(name);
+  auto built = std::make_unique<nn::QuantizedInferencePlan>(m.net, m.input_chw, cut);
+  NSHD_LOG_INFO("%s: calibrating int8 plan at cut %zu on the training set",
+                name.c_str(), cut);
+  const nn::CalibrationReport& report =
+      built->calibrate(split_.train.images.view());
+  NSHD_LOG_INFO("%s cut=%zu: int8 plan calibrated (%lld int8 / %lld f32 layers, "
+                "%lld calibration fallbacks)",
+                name.c_str(), cut, static_cast<long long>(report.int8_layers),
+                static_cast<long long>(report.fallback_layers),
+                static_cast<long long>(report.calibration_fallbacks));
+  return *qplans_.emplace(key, std::move(built)).first->second;
+}
+
+const ExtractedFeatures& ExperimentContext::quantized_test_features(
+    const std::string& name, std::size_t cut) {
+  const std::string key = name + "|cut=" + std::to_string(cut) + "|qtest";
+  auto it = features_.find(key);
+  if (it != features_.end()) return it->second;
+  NSHD_LOG_INFO("%s: extracting int8 features at cut %zu (test split)",
+                name.c_str(), cut);
+  ExtractedFeatures feats = extract_features(quantized_plan(name, cut), split_.test);
+  return features_.emplace(key, std::move(feats)).first->second;
+}
+
 const tensor::Tensor& ExperimentContext::teacher_train_logits(const std::string& name) {
   auto it = teacher_logits_.find(name);
   if (it != teacher_logits_.end()) return it->second;
@@ -119,7 +149,8 @@ const ExtractedFeatures& ExperimentContext::test_features(const std::string& nam
 
 ExperimentContext::NshdRun ExperimentContext::run_nshd(const std::string& name,
                                                        std::size_t cut,
-                                                       const NshdConfig& config) {
+                                                       const NshdConfig& config,
+                                                       bool with_quantized) {
   NshdRun run;
   try {
     models::ZooModel& m = model(name);
@@ -135,8 +166,15 @@ ExperimentContext::NshdRun ExperimentContext::run_nshd(const std::string& name,
     run.final_train_accuracy =
         stats.epoch_train_accuracy.empty() ? 0.0 : stats.epoch_train_accuracy.back();
     run.train_seconds = stats.seconds;
+    if (with_quantized) {
+      // Same trained HD head, int8 extractor: the accuracy delta vs
+      // run.test_accuracy is exactly the quantization cost at this cut.
+      run.quantized_test_accuracy =
+          nshd.evaluate(quantized_test_features(name, cut), split_.test.labels);
+    }
     if (!std::isfinite(run.test_accuracy) ||
-        !std::isfinite(run.final_train_accuracy)) {
+        !std::isfinite(run.final_train_accuracy) ||
+        (with_quantized && !std::isfinite(run.quantized_test_accuracy))) {
       run.failed = true;
       run.error = "non-finite accuracy";
     }

@@ -49,6 +49,17 @@ class ExperimentContext {
   /// Shared full-network plan (teacher logits, CNN test accuracy).
   nn::InferencePlan& full_plan(const std::string& name);
 
+  /// Shared INT8 plan for layers [0..cut]; built once per (model, cut) and
+  /// calibrated on the training images at first access.
+  nn::QuantizedInferencePlan& quantized_plan(const std::string& name,
+                                             std::size_t cut);
+
+  /// Test-split features extracted through the quantized plan (memoized
+  /// in-memory; they depend on the calibration pass, not just the weights,
+  /// so they are never disk-cached).
+  const ExtractedFeatures& quantized_test_features(const std::string& name,
+                                                   std::size_t cut);
+
   /// Full-CNN logits on the training set, [N_train, K] (the KD teacher).
   const tensor::Tensor& teacher_train_logits(const std::string& name);
 
@@ -66,10 +77,14 @@ class ExperimentContext {
     double test_accuracy = 0.0;
     double final_train_accuracy = 0.0;
     double train_seconds = 0.0;
+    /// Test accuracy with the extractor on the int8 quantized plan (same
+    /// trained HD head); -1 unless run_nshd was asked for the quantized arm.
+    double quantized_test_accuracy = -1.0;
     bool failed = false;
     std::string error;
   };
-  NshdRun run_nshd(const std::string& name, std::size_t cut, const NshdConfig& config);
+  NshdRun run_nshd(const std::string& name, std::size_t cut, const NshdConfig& config,
+                   bool with_quantized = false);
 
   /// VanillaHD (ID-level nonlinear encoding on raw pixels) test accuracy.
   double vanilla_hd_accuracy(std::int64_t dim, std::int64_t mass_epochs = 20);
@@ -86,6 +101,7 @@ class ExperimentContext {
   std::map<std::string, models::ZooModel> models_;
   // unique_ptr: a plan owns a mutex and is neither movable nor copyable.
   std::map<std::string, std::unique_ptr<nn::InferencePlan>> plans_;
+  std::map<std::string, std::unique_ptr<nn::QuantizedInferencePlan>> qplans_;
   std::map<std::string, tensor::Tensor> teacher_logits_;
   std::map<std::string, double> cnn_accuracy_;
   std::map<std::string, ExtractedFeatures> features_;

@@ -19,6 +19,7 @@
 #include "data/dataset.hpp"
 #include "models/zoo.hpp"
 #include "nn/plan.hpp"
+#include "nn/quant_plan.hpp"
 
 namespace nshd::core {
 
@@ -43,6 +44,13 @@ ExtractedFeatures extract_features(nn::InferencePlan& plan,
                                    const data::Dataset& dataset,
                                    std::int64_t batch_size = 32);
 
+/// INT8 variant: identical batching/slicing over a calibrated quantized
+/// plan.  Features come back as f32 (the plan dequantizes at the cut), so
+/// everything downstream — manifold, projection, class bank — is untouched.
+ExtractedFeatures extract_features(nn::QuantizedInferencePlan& plan,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size = 32);
+
 /// Convenience overload: builds a one-shot plan for layers [0..cut_layer]
 /// of `model.net` and extracts through it.
 ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_layer,
@@ -52,6 +60,10 @@ ExtractedFeatures extract_features(models::ZooModel& model, std::size_t cut_laye
 /// Extracts a single image [1, C, H, W] -> flat [F] through a prebuilt plan
 /// (a batch of one on the shared batched path).
 tensor::Tensor extract_one(nn::InferencePlan& plan, const tensor::Tensor& image);
+
+/// INT8 variant over a calibrated quantized plan.
+tensor::Tensor extract_one(nn::QuantizedInferencePlan& plan,
+                           const tensor::Tensor& image);
 
 /// Convenience overload building a one-shot batch-1 plan.
 tensor::Tensor extract_one(models::ZooModel& model, std::size_t cut_layer,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
@@ -212,6 +213,23 @@ std::int64_t NshdModel::predict_image(const tensor::Tensor& image) const {
         extractor_->net, extractor_->input_chw, cut_layer_, /*max_batch=*/1);
   }
   const tensor::Tensor features = extract_one(*image_plan_, image);
+  return predict(features.data());
+}
+
+const nn::CalibrationReport& NshdModel::enable_quantized_inference(
+    const tensor::TensorView& calib_images, std::int64_t calib_batch) {
+  quantized_image_plan_ = std::make_unique<nn::QuantizedInferencePlan>(
+      extractor_->net, extractor_->input_chw, cut_layer_, /*max_batch=*/1);
+  return quantized_image_plan_->calibrate(calib_images, calib_batch);
+}
+
+std::int64_t NshdModel::predict_image_quantized(const tensor::Tensor& image) const {
+  if (!quantized_image_plan_) {
+    throw std::logic_error(
+        "NshdModel: enable_quantized_inference() must run before "
+        "predict_image_quantized()");
+  }
+  const tensor::Tensor features = extract_one(*quantized_image_plan_, image);
   return predict(features.data());
 }
 

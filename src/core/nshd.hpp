@@ -145,6 +145,23 @@ class NshdModel {
   /// End-to-end single image [1, C, H, W].
   std::int64_t predict_image(const tensor::Tensor& image) const;
 
+  /// Prepares the INT8 single-image path: builds a batch-1 quantized plan
+  /// over the same cut and calibrates its activation scales on
+  /// `calib_images` ([N, C, H, W]).  Returns the calibration report; a
+  /// report with calibration_fallbacks > 0 still serves (the affected
+  /// layers run f32 — counted, never silent).
+  const nn::CalibrationReport& enable_quantized_inference(
+      const tensor::TensorView& calib_images, std::int64_t calib_batch = 32);
+
+  /// predict_image on the int8 extractor.  Throws std::logic_error unless
+  /// enable_quantized_inference has run.
+  std::int64_t predict_image_quantized(const tensor::Tensor& image) const;
+
+  /// The int8 image plan, or nullptr before enable_quantized_inference.
+  const nn::QuantizedInferencePlan* quantized_plan() const {
+    return quantized_image_plan_.get();
+  }
+
   /// Accuracy over a materialized feature set.
   double evaluate(const ExtractedFeatures& features,
                   const std::vector<std::int64_t>& labels) const;
@@ -193,6 +210,9 @@ class NshdModel {
   /// Lazily-built batch-1 plan so repeated predict_image calls reuse one
   /// workspace instead of re-planning the extractor every time.
   mutable std::unique_ptr<nn::InferencePlan> image_plan_;
+  /// INT8 batch-1 plan; present (and calibrated) only after
+  /// enable_quantized_inference.
+  mutable std::unique_ptr<nn::QuantizedInferencePlan> quantized_image_plan_;
   std::optional<ManifoldLearner> manifold_;
   hd::RandomProjection projection_;
   hd::HdClassifier classifier_;

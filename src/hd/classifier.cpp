@@ -7,6 +7,7 @@
 
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/simd.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -41,6 +42,31 @@ void unpack_query(const Hypervector& h, float* out) {
     for (std::int64_t i = tail_base; i < dim; ++i)
       out[i] = ((bits >> (i & 63)) & 1u) ? 1.0f : -1.0f;
   }
+}
+
+/// Expands a packed bipolar hypervector to u8 bits (1 for +1, 0 for -1) —
+/// the activation-side operand of the widening u8*s8 kernels.
+void unpack_bits_u8(const Hypervector& h, std::uint8_t* out) {
+  const std::int64_t dim = h.dim();
+  const std::uint64_t* words = h.words();
+  for (std::int64_t i = 0; i < dim; ++i) {
+    out[i] = static_cast<std::uint8_t>((words[i >> 6] >> (i & 63)) & 1u);
+  }
+}
+
+/// Expands a packed bipolar hypervector to s8 (+1/-1) and returns the row
+/// sum needed by the shared requantization identity.
+std::int32_t unpack_sign_s8(const Hypervector& h, std::int8_t* out) {
+  const std::int64_t dim = h.dim();
+  const std::uint64_t* words = h.words();
+  std::int32_t sum = 0;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    const std::int8_t v =
+        ((words[i >> 6] >> (i & 63)) & 1u) ? std::int8_t{1} : std::int8_t{-1};
+    out[i] = v;
+    sum += v;
+  }
+  return sum;
 }
 }  // namespace
 
@@ -214,23 +240,17 @@ std::vector<std::int64_t> HdClassifier::predict_all(const std::vector<Hypervecto
 
 std::vector<float> HdClassifier::sims_from_raw(const std::vector<double>& raw,
                                                Similarity metric) const {
-  std::vector<float> sims(static_cast<std::size_t>(num_classes_));
-  const double query_norm = std::sqrt(static_cast<double>(dim_));
+  // Single-query scoring shares sims_row with the batched path, so dot and
+  // cosine scaling live in exactly one place.
   if (metric == Similarity::kCosine) {
     if (!norms_valid_) refresh_norms();
     audit_norms();
   }
-  for (std::int64_t c = 0; c < num_classes_; ++c) {
-    if (metric == Similarity::kDot) {
-      sims[static_cast<std::size_t>(c)] =
-          static_cast<float>(raw[static_cast<std::size_t>(c)] / dim_);
-    } else {
-      const double denom =
-          std::max(1e-9, static_cast<double>(norms_[static_cast<std::size_t>(c)]) * query_norm);
-      sims[static_cast<std::size_t>(c)] =
-          static_cast<float>(raw[static_cast<std::size_t>(c)] / denom);
-    }
-  }
+  std::vector<float> rawf(static_cast<std::size_t>(num_classes_));
+  for (std::int64_t c = 0; c < num_classes_; ++c)
+    rawf[static_cast<std::size_t>(c)] = static_cast<float>(raw[static_cast<std::size_t>(c)]);
+  std::vector<float> sims(static_cast<std::size_t>(num_classes_));
+  sims_row(rawf.data(), sims.data(), metric);
   return sims;
 }
 
@@ -396,29 +416,52 @@ double HdClassifier::evaluate_quantized(const std::vector<Hypervector>& samples,
                                         const std::vector<std::int64_t>& labels) const {
   assert(samples.size() == labels.size());
   if (samples.empty()) return 0.0;
-  // Batched deployment-accuracy pass: the binarized bank is expanded to
-  // floats once and every block of queries is scored with one gemm_bt.
-  // Dot products of +/-1 vectors are exact small integers in f32 (|sum| <=
-  // D << 2^24, every partial sum exact), so the argmax — including the
+  // Batched deployment-accuracy pass on the int8 kernels: the binarized
+  // bank becomes s8 rows (+1/-1), queries become u8 bits b in {0,1}, and one
+  // gemm_s8 per block scores every class.  With x = 2b - 1, the bipolar dot
+  // is sum w*(2b-1) = 2*acc - row_sum — the same zero-point-correction
+  // identity quant::requantize applies in the quantized inference plan
+  // (sub = 0, mult = 2, add = -row_sum).  All quantities are exact small
+  // integers (|score| <= 2D << 2^24), so the argmax — including the
   // first-max tie rule — is identical to the packed popcount path used by
   // predict_quantized.
   const std::vector<Hypervector> quantized = quantized_classes();
-  std::vector<float> fbank(static_cast<std::size_t>(num_classes_ * dim_));
-  unpack_block(quantized, 0, num_classes_, fbank.data());
+  std::vector<std::int8_t> sbank(static_cast<std::size_t>(num_classes_ * dim_));
+  std::vector<float> neg_row_sum(static_cast<std::size_t>(num_classes_));
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    neg_row_sum[static_cast<std::size_t>(c)] = -static_cast<float>(
+        unpack_sign_s8(quantized[static_cast<std::size_t>(c)], sbank.data() + c * dim_));
+  }
   const auto n = static_cast<std::int64_t>(samples.size());
-  std::vector<float> qf(static_cast<std::size_t>(std::min(n, kQueryBlock) * dim_));
-  std::vector<float> raw(static_cast<std::size_t>(std::min(n, kQueryBlock) * num_classes_));
+  const std::int64_t block = std::min(n, kQueryBlock);
+  std::vector<std::uint8_t> qb(static_cast<std::size_t>(block * dim_));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(num_classes_ * block));
   std::int64_t correct = 0;
   for (std::int64_t b = 0; b < n; b += kQueryBlock) {
     const std::int64_t e = std::min(n, b + kQueryBlock);
-    unpack_block(samples, b, e, qf.data());
-    tensor::gemm_bt(qf.data(), fbank.data(), raw.data(), e - b, dim_, num_classes_);
-    for (std::int64_t i = b; i < e; ++i) {
-      const float* row = raw.data() + (i - b) * num_classes_;
+    const std::int64_t cur = e - b;
+    util::parallel_for(b, e, kUnpackGrain, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        assert(samples[static_cast<std::size_t>(i)].dim() == dim_);
+        unpack_bits_u8(samples[static_cast<std::size_t>(i)], qb.data() + (i - b) * dim_);
+      }
+    });
+    // acc[c, i] = bank_s8[c,:] . bits_u8[i,:] over the whole block.
+    tensor::gemm_s8(sbank.data(), qb.data(), acc.data(), num_classes_, dim_, cur);
+    for (std::int64_t i = 0; i < cur; ++i) {
       std::int64_t best = 0;
-      for (std::int64_t c = 1; c < num_classes_; ++c)
-        if (row[c] > row[best]) best = c;
-      if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+      float best_score = tensor::quant::requantize(acc[static_cast<std::size_t>(i)], 0,
+                                                   2.0f, neg_row_sum[0]);
+      for (std::int64_t c = 1; c < num_classes_; ++c) {
+        const float score =
+            tensor::quant::requantize(acc[static_cast<std::size_t>(c * cur + i)], 0, 2.0f,
+                                      neg_row_sum[static_cast<std::size_t>(c)]);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      if (best == labels[static_cast<std::size_t>(b + i)]) ++correct;
     }
   }
   return static_cast<double>(correct) / static_cast<double>(samples.size());

@@ -51,4 +51,20 @@ double FpgaModel::nshd_latency_s(const NshdCensus& census,
   return prefix_s + manifold_s + hd_s + overhead_s;
 }
 
+QuantCrossCheck quant_cross_check(const FpgaModel& model, const NshdCensus& census,
+                                  std::size_t prefix_layers, double measured_fps) {
+  // Prefix-only latency: reuse nshd_latency_s with the HD stages zeroed so
+  // the analytic side executes exactly what the measured int8 plan executes.
+  NshdCensus prefix_only;
+  prefix_only.prefix_macs = census.prefix_macs;
+  prefix_only.prefix_params = census.prefix_params;
+  QuantCrossCheck check;
+  const double latency_s = model.nshd_latency_s(prefix_only, prefix_layers);
+  check.analytic_fps = latency_s > 0.0 ? 1.0 / latency_s : 0.0;
+  check.measured_fps = measured_fps;
+  check.analytic_over_measured =
+      measured_fps > 0.0 ? check.analytic_fps / measured_fps : 0.0;
+  return check;
+}
+
 }  // namespace nshd::hw

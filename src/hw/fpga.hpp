@@ -69,4 +69,21 @@ class FpgaModel {
   FpgaModelConfig config_;
 };
 
+/// Cross-check of the analytic INT8 deployment model against a *measured*
+/// int8 extractor throughput (the CPU quantized plan benchmarked by
+/// bench_quant).  Both sides consume the same census, so the ratio isolates
+/// how far the DPU roofline abstraction sits from real silicon: a B4096-class
+/// DPU against a handful of CPU SIMD lanes should land well above 1.
+struct QuantCrossCheck {
+  double analytic_fps = 0.0;        // DPU-model prefix-only throughput
+  double measured_fps = 0.0;        // measured CPU int8 samples/s
+  double analytic_over_measured = 0.0;  // 0 when measured_fps <= 0
+};
+
+/// Prefix-only (cut CNN) analytic INT8 throughput vs `measured_fps`.
+/// The prefix is the only stage the quantized plan executes, so the
+/// comparison excludes the HD stages on both sides.
+QuantCrossCheck quant_cross_check(const FpgaModel& model, const NshdCensus& census,
+                                  std::size_t prefix_layers, double measured_fps);
+
 }  // namespace nshd::hw

@@ -71,6 +71,13 @@ void ModelBundle::enable_online(hd::UpdateGuard guard) {
   online->set_guard(std::move(guard));
 }
 
+const nn::CalibrationReport& ModelBundle::enable_quantized(
+    const tensor::TensorView& calib_images, std::int64_t calib_batch) {
+  qplan = std::make_unique<nn::QuantizedInferencePlan>(
+      zoo.net, zoo.input_chw, cut, plan.max_batch());
+  return qplan->calibrate(calib_images, calib_batch);
+}
+
 bool save_bundle_checkpoint(const core::NshdModel& model, const std::string& key,
                             const std::string& path) {
   util::Checkpoint checkpoint;
@@ -386,7 +393,14 @@ void Engine::execute_batch(ModelEntry& entry, std::vector<Request>& batch,
     features.chw = tensor::Shape{out_one[1], out_one.rank() > 2 ? out_one[2] : 1,
                                  out_one.rank() > 3 ? out_one[3] : 1};
     features.values = tensor::Tensor(tensor::Shape{n, f});
-    bundle.plan.run_batch(images.view(), features.values.view());
+    if (bundle.qplan != nullptr && bundle.qplan->calibrated()) {
+      // INT8 serving path: same cut, same [n, f] feature tensor, counted so
+      // the quantized arm is observable in stats().
+      bundle.qplan->run_batch(images.view(), features.values.view());
+      counters_.quantized_batches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bundle.plan.run_batch(images.view(), features.values.view());
+    }
 
     const std::vector<hd::Hypervector> queries =
         scan ? bundle.nshd.symbolize_all_checked(features, health)
@@ -753,6 +767,7 @@ EngineStats Engine::stats() const {
   s.rejected_unknown = get(counters_.rejected_unknown);
   s.rejected_overload = get(counters_.rejected_overload);
   s.batches = get(counters_.batches);
+  s.quantized_batches = get(counters_.quantized_batches);
   s.max_batch_flushes = get(counters_.max_batch_flushes);
   s.deadline_flushes = get(counters_.deadline_flushes);
   s.drain_flushes = get(counters_.drain_flushes);

@@ -87,6 +87,7 @@
 #include "hd/versioned_bank.hpp"
 #include "models/zoo.hpp"
 #include "nn/plan.hpp"
+#include "nn/quant_plan.hpp"
 #include "util/checkpoint.hpp"
 
 namespace nshd::serve {
@@ -188,6 +189,8 @@ struct EngineStats {
   std::uint64_t rejected_unknown = 0;
   std::uint64_t rejected_overload = 0;  // admission-control sheds
   std::uint64_t batches = 0;
+  std::uint64_t quantized_batches = 0;  // batches served by the int8 plan
+                                        // (also counted in batches)
   std::uint64_t max_batch_flushes = 0;
   std::uint64_t deadline_flushes = 0;
   std::uint64_t drain_flushes = 0;
@@ -222,6 +225,12 @@ struct ModelBundle {
   /// execution scores against its latest published snapshot instead of
   /// nshd.classifier(), and the engine's update submission paths mutate it.
   std::unique_ptr<hd::VersionedBank> online;
+  /// INT8 serving plan: present and calibrated after enable_quantized().
+  /// When set, batch execution runs the quantized tape instead of `plan`
+  /// (quantized_batches counts them).  Reload only swaps HD state (manifold
+  /// FC + class bank), never CNN weights, so the quantized weights stay
+  /// valid across reload().
+  std::unique_ptr<nn::QuantizedInferencePlan> qplan;
 
   ModelBundle(models::ZooModel zoo_model, std::size_t cut_layer,
               const core::NshdConfig& config, std::int64_t max_batch);
@@ -231,6 +240,15 @@ struct ModelBundle {
   /// training and BEFORE register_model — the pointer itself is not
   /// hot-swappable under traffic (published versions inside it are).
   void enable_online(hd::UpdateGuard guard = {});
+
+  /// Switches the bundle to int8 serving: builds the quantized plan over the
+  /// same cut and calibrates activation scales on `calib_images`
+  /// ([N, C, H, W]).  Call after training and BEFORE register_model (the
+  /// plan pointer is not hot-swappable under traffic).  Returns the
+  /// calibration report; a report with calibration_fallbacks > 0 still
+  /// serves (affected layers run f32, counted, never silent).
+  const nn::CalibrationReport& enable_quantized(
+      const tensor::TensorView& calib_images, std::int64_t calib_batch = 32);
   ModelBundle(const ModelBundle&) = delete;
   ModelBundle& operator=(const ModelBundle&) = delete;
 };
@@ -356,7 +374,8 @@ class Engine {
     std::atomic<std::uint64_t> submitted{0}, completed{0}, timed_out{0},
         internal_errors{0}, degraded{0}, rejected_full{0}, rejected_shape{0},
         rejected_shutdown{0}, rejected_unknown{0}, rejected_overload{0},
-        batches{0}, max_batch_flushes{0}, deadline_flushes{0}, drain_flushes{0},
+        batches{0}, quantized_batches{0}, max_batch_flushes{0},
+        deadline_flushes{0}, drain_flushes{0},
         batch_faults{0}, retried{0}, numeric_faults{0}, reloads_ok{0},
         reloads_failed{0}, updates_ok{0}, updates_rolled_back{0},
         updates_rejected{0}, classes_added{0}, classes_removed{0},

@@ -208,6 +208,115 @@ void gemm_packed_rows(const float* a, const float* packed, float* c,
   });
 }
 
+/// R pre-widened s16 weight rows against C u8 activation rows — one output
+/// tile of the BT-form int8 GEMM.  Each widened activation strip is shared
+/// by all R madd chains and each weight strip by all C columns, so the
+/// per-multiply widening cost falls as the tile grows; the weight operand
+/// is sign-extended to s16 ahead of time (by the caller or the gemm_s8
+/// wrapper), which keeps the inner iteration free of shuffle-port sign
+/// extension entirely.  4x2 is the largest tile whose accumulators plus
+/// operand strips stay in registers on every target ISA.  Exact integer
+/// accumulation — no ordering caveats.
+template <int R, int C>
+inline void s16_tile(const std::int16_t* a, std::int64_t lda,
+                     const std::uint8_t* b, std::int64_t ldb,
+                     std::int32_t* c, std::int64_t ldc, std::int64_t k) {
+  simd::VS32 acc[R][C];
+  for (int r = 0; r < R; ++r)
+    for (int j = 0; j < C; ++j) acc[r][j] = simd::vqzero();
+  std::int64_t p = 0;
+  for (; p + simd::kDotBytes <= k; p += simd::kDotBytes) {
+    simd::VQA bv[C];
+    for (int j = 0; j < C; ++j) bv[j] = simd::widen_u8(b + j * ldb + p);
+    for (int r = 0; r < R; ++r) {
+      const simd::VQA av = simd::load_s16(a + r * lda + p);
+      for (int j = 0; j < C; ++j)
+        acc[r][j] = simd::madd_s16(acc[r][j], av, bv[j]);
+    }
+  }
+  auto tail = [&](int r, int j, std::int32_t s) {
+    for (std::int64_t q = p; q < k; ++q) {
+      s += static_cast<std::int32_t>(b[j * ldb + q]) *
+           static_cast<std::int32_t>(a[r * lda + q]);
+    }
+    return s;
+  };
+  if constexpr (R == 4) {
+    // Full-height tile: reduce all four row accumulators of each column in
+    // one grouped shuffle tree.  At small K (conv1's K16 is two strips) the
+    // per-output reduction dominates the tile, so this grouping matters.
+    for (int j = 0; j < C; ++j) {
+      std::int32_t s4[4];
+      simd::vs32_hsum4(acc[0][j], acc[1][j], acc[2][j], acc[3][j], s4);
+      for (int r = 0; r < 4; ++r) c[r * ldc + j] = tail(r, j, s4[r]);
+    }
+  } else {
+    for (int r = 0; r < R; ++r)
+      for (int j = 0; j < C; ++j)
+        c[r * ldc + j] = tail(r, j, simd::vs32_hsum(acc[r][j]));
+  }
+}
+
+/// One column group of C tiles (columns [j, j+C)) over the whole row range.
+template <int C>
+inline void s16_col_group(const std::int16_t* a, std::int64_t lda,
+                          const std::uint8_t* b, std::int64_t ldb,
+                          std::int32_t* c, std::int64_t k, std::int64_t n,
+                          std::int64_t r0, std::int64_t r1, std::int64_t j) {
+  std::int64_t i = r0;
+  for (; i + 4 <= r1; i += 4)
+    s16_tile<4, C>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+  for (; i < r1; ++i)
+    s16_tile<1, C>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+}
+
+/// Row-range tile driver shared by both int8 GEMM entry points.  C is
+/// row-major [m, n] with no stride (ldc == n).
+///
+/// Two loop orders, same tiles, same results (each C entry is produced by
+/// one identical tile invocation either way): rows-outer re-streams all of B
+/// once per 4-row group, so it wants B cache-resident; columns-outer
+/// re-streams the chunk's A rows once per column group, so it wants those in
+/// L1.  Early conv layers (small weight matrix, huge patch panel) fall badly
+/// off the rows-outer cliff — B's per-tile runs are a few cache lines, too
+/// short for the prefetcher, and the whole panel is re-streamed m/4 times —
+/// so pick whichever order keeps the smaller operand resident.
+inline void s16_rows(const std::int16_t* a, std::int64_t lda,
+                     const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                     std::int64_t k, std::int64_t n, std::int64_t r0,
+                     std::int64_t r1) {
+  const std::int64_t a_chunk_bytes = (r1 - r0) * lda * 2;
+  if (n * ldb > a_chunk_bytes) {
+    std::int64_t j = 0;
+    for (; j + 3 <= n; j += 3) s16_col_group<3>(a, lda, b, ldb, c, k, n, r0, r1, j);
+    if (j + 2 <= n) {
+      s16_col_group<2>(a, lda, b, ldb, c, k, n, r0, r1, j);
+      j += 2;
+    }
+    if (j < n) s16_col_group<1>(a, lda, b, ldb, c, k, n, r0, r1, j);
+    return;
+  }
+  std::int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    std::int64_t j = 0;
+    for (; j + 3 <= n; j += 3)
+      s16_tile<4, 3>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+    if (j + 2 <= n) {
+      s16_tile<4, 2>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+      j += 2;
+    }
+    if (j < n)
+      s16_tile<4, 1>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+  }
+  for (; i < r1; ++i) {
+    std::int64_t j = 0;
+    for (; j + 2 <= n; j += 2)
+      s16_tile<1, 2>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+    if (j < n)
+      s16_tile<1, 1>(a + i * lda, lda, b + j * ldb, ldb, c + i * n + j, n, k);
+  }
+}
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
@@ -330,6 +439,36 @@ void gemv_t(const float* a, const float* x, float* y, std::int64_t m, std::int64
 
 float dot(const float* a, const float* b, std::int64_t n) {
   return dot_kernel(a, b, n);
+}
+
+void gemm_s8(const std::int8_t* a, const std::uint8_t* b, std::int32_t* c,
+             std::int64_t m, std::int64_t k, std::int64_t n) {
+  // Widen the weight operand to s16 once up front — O(M*K) against the
+  // O(M*K*N) madd work it strips out of the inner loop — then run the
+  // tiled core.  The widened copy lives in the per-thread pack arena,
+  // frame-scoped exactly like the f32 panel workspace.  Chunks own
+  // disjoint row ranges of C; kRowGrain is a multiple of 4, so row
+  // grouping is the same for every partition (and the integer sums are
+  // order-exact anyway).
+  if (m == 0 || n == 0) return;
+  Workspace& ws = tl_pack_ws;
+  Workspace::Frame frame(ws);
+  const std::int64_t elems = m * k;
+  auto* a16 = reinterpret_cast<std::int16_t*>(
+      ws.alloc((elems * static_cast<std::int64_t>(sizeof(std::int16_t)) + 3) / 4));
+  for (std::int64_t i = 0; i < elems; ++i) a16[i] = a[i];
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    s16_rows(a16, k, b, k, c, k, n, r0, r1);
+  });
+}
+
+void gemm_s16_u8(const std::int16_t* a, std::int64_t lda,
+                 const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                 std::int64_t m, std::int64_t k, std::int64_t n) {
+  if (m == 0 || n == 0) return;
+  util::parallel_for(0, m, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    s16_rows(a, lda, b, ldb, c, k, n, r0, r1);
+  });
 }
 
 }  // namespace nshd::tensor

@@ -49,4 +49,28 @@ void gemv_t(const float* a, const float* x, float* y, std::int64_t m, std::int64
 /// Dot product of two length-n vectors.
 float dot(const float* a, const float* b, std::int64_t n);
 
+/// Int8 GEMM in BT form: C_s32[M,N] = A_s8[M,K] * B_u8[N,K]^T.  A holds
+/// quantized weight (or bipolar class-bank) rows, B holds quantized
+/// activation rows — im2row patches or unpacked query bits — so both
+/// operands stream contiguously along K with no packing step.  The weight
+/// operand is sign-extended to s16 once per call, then a 4x2 register tile
+/// shares each widened activation strip across 4 weight rows and each
+/// weight strip across 2 activation columns (tensor/simd.hpp load_s16 /
+/// madd_s16); accumulation is exact integer arithmetic, hence bitwise
+/// invariant across NSHD_THREADS and identical on every ISA.
+void gemm_s8(const std::int8_t* a, const std::uint8_t* b, std::int32_t* c,
+             std::int64_t m, std::int64_t k, std::int64_t n);
+
+/// The same BT-form int8 GEMM with the weight operand already widened:
+/// C_s32[M,N] = A_s16[M,K] * B_u8[N,K]^T, with row strides lda/ldb >= K.
+/// Callers that keep widened weights around (the quantized inference plan
+/// stores them per layer, zero-padded to a whole simd::kDotBytes strip)
+/// skip the per-call widening pass entirely — and when `k` itself is
+/// passed as the padded count, the kernel never runs a scalar K tail:
+/// zero-padded weight lanes annihilate whatever initialized bytes sit in
+/// the activation rows' padding.
+void gemm_s16_u8(const std::int16_t* a, std::int64_t lda,
+                 const std::uint8_t* b, std::int64_t ldb, std::int32_t* c,
+                 std::int64_t m, std::int64_t k, std::int64_t n);
+
 }  // namespace nshd::tensor

@@ -18,6 +18,22 @@
 // per-set-bit scalar gathers into straight-line vector code: bit=1 keeps
 // the lane, bit=0 flips its sign bit (bipolar -1), with no branches and no
 // dependence on the bit population.
+//
+// Int8 widening family (quantized inference): every ISA block also defines
+// a 16-byte activation type `VQA` (u8 values zero-extended to s16 lanes), an
+// s32 accumulator `VS32`, and `madd_s8(acc, a, b)` which sign-extends 16 s8
+// weights, multiplies lane-wise against the widened activations, and adds
+// horizontal s16 pairs into s32 lanes (`madd_epi16` style).  Unlike the
+// hardware `maddubs` instruction, the explicit extend-then-madd sequence
+// never saturates (u8*s8 pair sums reach 255*127*2 = 64770 > s16 max), so
+// the kernels are EXACT over the full u8 x s8 domain — every ISA computes
+// the same integers and thread-count invariance is free.  The s32 lanes are
+// overflow-safe for dots up to n ~= 2^19 at the |a|=255, |b|=127 corner;
+// callers here keep n below ~10^4 (im2col rows, HD dimensions).
+// `load_s16` / `madd_s16` are the pre-widened flavor: the weight operand is
+// sign-extended to s16 once outside the hot loop (tensor/gemm.cpp keeps a
+// widened copy per call or per plan), so the inner GEMM iteration spends no
+// shuffle-port work on widening at all.
 #pragma once
 
 #include <cstdint>
@@ -91,6 +107,54 @@ inline VF signed_set1(float x, std::uint64_t bits) {
                         _mm256_castsi256_ps(detail::lane_signflip(bits)))};
 }
 
+/// 16 u8 activations widened to sixteen s16 lanes.
+struct VQA {
+  __m256i v;
+};
+/// Eight s32 accumulator lanes.
+struct VS32 {
+  __m256i v;
+};
+
+inline VS32 vqzero() { return {_mm256_setzero_si256()}; }
+inline VQA widen_u8(const std::uint8_t* p) {
+  return {_mm256_cvtepu8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+}
+/// acc += pairwise sums of a[l] * sign_extend(b[l]) over 16 lanes (exact).
+inline VS32 madd_s8(VS32 acc, VQA a, const std::int8_t* b) {
+  const __m256i bw = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b)));
+  return {_mm256_add_epi32(acc.v, _mm256_madd_epi16(a.v, bw))};
+}
+inline std::int32_t vs32_hsum(VS32 a) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(a.v),
+                            _mm256_extracti128_si256(a.v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+/// 16 pre-widened s16 lanes (weights sign-extended ahead of the hot loop).
+inline VQA load_s16(const std::int16_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+/// acc += pairwise sums of a[l] * b[l] over 16 s16 lanes.  Exact: both
+/// operands fit s16, so the madd's 32-bit pair sums cannot saturate.
+inline VS32 madd_s16(VS32 acc, VQA a, VQA b) {
+  return {_mm256_add_epi32(acc.v, _mm256_madd_epi16(a.v, b.v))};
+}
+/// out[0..3] = hsum(a), hsum(b), hsum(c), hsum(d) in one shuffle tree —
+/// integer adds, so regrouping lanes is exact; much cheaper than four
+/// independent vs32_hsum reductions when a tile retires 4+ outputs at once.
+inline void vs32_hsum4(VS32 a, VS32 b, VS32 c, VS32 d, std::int32_t* out) {
+  const __m256i t0 = _mm256_hadd_epi32(a.v, b.v);
+  const __m256i t1 = _mm256_hadd_epi32(c.v, d.v);
+  const __m256i t2 = _mm256_hadd_epi32(t0, t1);
+  const __m128i s = _mm_add_epi32(_mm256_castsi256_si128(t2),
+                                  _mm256_extracti128_si256(t2, 1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
 #elif defined(NSHD_SIMD_SSE2)
 
 inline constexpr int kWidth = 4;
@@ -133,6 +197,56 @@ inline VF signed_set1(float x, std::uint64_t bits) {
   return {_mm_xor_ps(_mm_set1_ps(x), _mm_castsi128_ps(detail::lane_signflip(bits)))};
 }
 
+/// 16 u8 activations widened to s16 (two 8-lane halves).
+struct VQA {
+  __m128i lo, hi;
+};
+struct VS32 {
+  __m128i v;
+};
+
+inline VS32 vqzero() { return {_mm_setzero_si128()}; }
+inline VQA widen_u8(const std::uint8_t* p) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i z = _mm_setzero_si128();
+  return {_mm_unpacklo_epi8(raw, z), _mm_unpackhi_epi8(raw, z)};
+}
+inline VS32 madd_s8(VS32 acc, VQA a, const std::int8_t* b) {
+  // Sign-extend s8 -> s16 with the unpack-with-self + arithmetic-shift
+  // idiom (SSE2 has no cvtepi8).
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i blo = _mm_srai_epi16(_mm_unpacklo_epi8(raw, raw), 8);
+  const __m128i bhi = _mm_srai_epi16(_mm_unpackhi_epi8(raw, raw), 8);
+  const __m128i v = _mm_add_epi32(acc.v, _mm_madd_epi16(a.lo, blo));
+  return {_mm_add_epi32(v, _mm_madd_epi16(a.hi, bhi))};
+}
+inline std::int32_t vs32_hsum(VS32 a) {
+  __m128i s = _mm_add_epi32(a.v, _mm_shuffle_epi32(a.v, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+inline VQA load_s16(const std::int16_t* p) {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 8))};
+}
+inline VS32 madd_s16(VS32 acc, VQA a, VQA b) {
+  const __m128i v = _mm_add_epi32(acc.v, _mm_madd_epi16(a.lo, b.lo));
+  return {_mm_add_epi32(v, _mm_madd_epi16(a.hi, b.hi))};
+}
+/// 4x4 lane transpose of the accumulators, then three vertical adds.
+inline void vs32_hsum4(VS32 a, VS32 b, VS32 c, VS32 d, std::int32_t* out) {
+  const __m128i t0 = _mm_unpacklo_epi32(a.v, b.v);  // a0 b0 a1 b1
+  const __m128i t1 = _mm_unpacklo_epi32(c.v, d.v);  // c0 d0 c1 d1
+  const __m128i t2 = _mm_unpackhi_epi32(a.v, b.v);  // a2 b2 a3 b3
+  const __m128i t3 = _mm_unpackhi_epi32(c.v, d.v);  // c2 d2 c3 d3
+  const __m128i r0 = _mm_unpacklo_epi64(t0, t1);
+  const __m128i r1 = _mm_unpackhi_epi64(t0, t1);
+  const __m128i r2 = _mm_unpacklo_epi64(t2, t3);
+  const __m128i r3 = _mm_unpackhi_epi64(t2, t3);
+  const __m128i s = _mm_add_epi32(_mm_add_epi32(r0, r1), _mm_add_epi32(r2, r3));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
 #elif defined(NSHD_SIMD_NEON)
 
 inline constexpr int kWidth = 4;
@@ -173,6 +287,56 @@ inline VF signed_load(const float* p, std::uint64_t bits) {
 inline VF signed_set1(float x, std::uint64_t bits) {
   return {vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(vdupq_n_f32(x)),
                                           detail::lane_signflip(bits)))};
+}
+
+struct VQA {
+  int16x8_t lo, hi;
+};
+struct VS32 {
+  int32x4_t v;
+};
+
+inline VS32 vqzero() { return {vdupq_n_s32(0)}; }
+inline VQA widen_u8(const std::uint8_t* p) {
+  const uint8x16_t raw = vld1q_u8(p);
+  return {vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(raw))),
+          vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(raw)))};
+}
+inline VS32 madd_s8(VS32 acc, VQA a, const std::int8_t* b) {
+  const int8x16_t raw = vld1q_s8(b);
+  const int16x8_t blo = vmovl_s8(vget_low_s8(raw));
+  const int16x8_t bhi = vmovl_s8(vget_high_s8(raw));
+  int32x4_t v = vmlal_s16(acc.v, vget_low_s16(a.lo), vget_low_s16(blo));
+  v = vmlal_s16(v, vget_high_s16(a.lo), vget_high_s16(blo));
+  v = vmlal_s16(v, vget_low_s16(a.hi), vget_low_s16(bhi));
+  v = vmlal_s16(v, vget_high_s16(a.hi), vget_high_s16(bhi));
+  return {v};
+}
+inline std::int32_t vs32_hsum(VS32 a) {
+  const int32x2_t s = vadd_s32(vget_low_s32(a.v), vget_high_s32(a.v));
+  return vget_lane_s32(vpadd_s32(s, s), 0);
+}
+inline VQA load_s16(const std::int16_t* p) {
+  return {vld1q_s16(p), vld1q_s16(p + 8)};
+}
+inline VS32 madd_s16(VS32 acc, VQA a, VQA b) {
+  int32x4_t v = vmlal_s16(acc.v, vget_low_s16(a.lo), vget_low_s16(b.lo));
+  v = vmlal_s16(v, vget_high_s16(a.lo), vget_high_s16(b.lo));
+  v = vmlal_s16(v, vget_low_s16(a.hi), vget_low_s16(b.hi));
+  v = vmlal_s16(v, vget_high_s16(a.hi), vget_high_s16(b.hi));
+  return {v};
+}
+inline void vs32_hsum4(VS32 a, VS32 b, VS32 c, VS32 d, std::int32_t* out) {
+#if defined(__aarch64__)
+  const int32x4_t ab = vpaddq_s32(a.v, b.v);  // a01 a23 b01 b23
+  const int32x4_t cd = vpaddq_s32(c.v, d.v);
+  vst1q_s32(out, vpaddq_s32(ab, cd));
+#else
+  out[0] = vs32_hsum(a);
+  out[1] = vs32_hsum(b);
+  out[2] = vs32_hsum(c);
+  out[3] = vs32_hsum(d);
+#endif
 }
 
 #else  // scalar fallback
@@ -233,6 +397,47 @@ inline VF signed_set1(float x, std::uint64_t bits) {
   return r;
 }
 
+// 16 explicit widened lanes / 4 accumulator lanes so the structure mirrors
+// the vector ISAs; integer accumulation is exact, so lane assignment does
+// not change results.
+struct VQA {
+  std::int16_t v[16];
+};
+struct VS32 {
+  std::int32_t v[4];
+};
+
+inline VS32 vqzero() { return {{0, 0, 0, 0}}; }
+inline VQA widen_u8(const std::uint8_t* p) {
+  VQA r;
+  for (int l = 0; l < 16; ++l) r.v[l] = static_cast<std::int16_t>(p[l]);
+  return r;
+}
+inline VS32 madd_s8(VS32 acc, VQA a, const std::int8_t* b) {
+  for (int l = 0; l < 16; ++l)
+    acc.v[l & 3] += static_cast<std::int32_t>(a.v[l]) * b[l];
+  return acc;
+}
+inline std::int32_t vs32_hsum(VS32 a) {
+  return (a.v[0] + a.v[2]) + (a.v[1] + a.v[3]);
+}
+inline VQA load_s16(const std::int16_t* p) {
+  VQA r;
+  for (int l = 0; l < 16; ++l) r.v[l] = p[l];
+  return r;
+}
+inline VS32 madd_s16(VS32 acc, VQA a, VQA b) {
+  for (int l = 0; l < 16; ++l)
+    acc.v[l & 3] += static_cast<std::int32_t>(a.v[l]) * b.v[l];
+  return acc;
+}
+inline void vs32_hsum4(VS32 a, VS32 b, VS32 c, VS32 d, std::int32_t* out) {
+  out[0] = vs32_hsum(a);
+  out[1] = vs32_hsum(b);
+  out[2] = vs32_hsum(c);
+  out[3] = vs32_hsum(d);
+}
+
 #endif
 
 /// Serial signed-accumulation dot of a float vector against a packed bipolar
@@ -272,6 +477,32 @@ inline float signed_sum(const float* m, const std::uint64_t* words, std::int64_t
   float sum = vhsum(vadd(vadd(acc0, acc1), vadd(acc2, acc3)));
   for (; i < dim; ++i, bits >>= 1) {
     sum += (bits & 1u) ? m[i] : -m[i];
+  }
+  return sum;
+}
+
+/// Bytes consumed per int8 madd step — uniform across ISAs so every build
+/// partitions a dot identically.
+inline constexpr std::int64_t kDotBytes = 16;
+
+/// Exact widening dot: sum over i of u8 a[i] * s8 b[i], s32 result.  Two
+/// rotating accumulators over 32-byte strips, a single-accumulator 16-byte
+/// step, then a scalar tail — integer arithmetic, so the value is identical
+/// on every ISA and for every thread count.
+inline std::int32_t dot_u8s8(const std::uint8_t* a, const std::int8_t* b,
+                             std::int64_t n) {
+  VS32 acc0 = vqzero(), acc1 = vqzero();
+  std::int64_t i = 0;
+  for (; i + 2 * kDotBytes <= n; i += 2 * kDotBytes) {
+    acc0 = madd_s8(acc0, widen_u8(a + i), b + i);
+    acc1 = madd_s8(acc1, widen_u8(a + i + kDotBytes), b + i + kDotBytes);
+  }
+  for (; i + kDotBytes <= n; i += kDotBytes) {
+    acc0 = madd_s8(acc0, widen_u8(a + i), b + i);
+  }
+  std::int32_t sum = vs32_hsum(acc0) + vs32_hsum(acc1);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
   }
   return sum;
 }

@@ -107,6 +107,7 @@ const std::vector<std::string>& known_sites() {
       "checkpoint.torn_write",  "online.publish_crash",
       "online.snapshot_corrupt", "online.update_nan",
       "pretrain.kill",
+      "quant.calib_nan",        "quant.scale_zero",
       "serve.batch_stall",      "serve.nan_logits",
       "serve.reload_corrupt",   "serve.worker_throw",
       "train.grad_nan",         "train.prefetch_stall",

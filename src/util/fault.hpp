@@ -23,6 +23,8 @@
 //   online.snapshot_corrupt hd::VersionedBank restored bank corrupts in memory
 //   trainer.nan_loss        train_classifier sees a NaN batch loss
 //   pretrain.kill           pretrained_model dies after an epoch checkpoint
+//   quant.calib_nan         quant::activation_params sees a non-finite range
+//   quant.scale_zero        quant::activation_params derives a zero scale
 //   serve.worker_throw      serve::Engine batch execution throws mid-batch
 //   serve.batch_stall       serve::Engine batch execution stalls (slow batch)
 //   serve.nan_logits        serve::Engine similarity output row turns NaN
